@@ -1,0 +1,35 @@
+"""Figure 9 — SubTab's running time split: pre-processing vs selection.
+
+Paper numbers: pre-processing takes up to 90 s (worst on the all-numeric CC
+dataset despite it having fewer rows than FL, because every column must be
+KDE-binned); centroid selection takes only 1-5 s per display on all
+datasets — the reuse of embeddings is what makes query-time display
+interactive.
+
+Reproduction target: selection is a small fraction of pre-processing on
+every dataset, and CC pays more binning per row than any other dataset.
+"""
+
+from repro.bench import run_runtime_experiment
+
+
+def test_fig9_runtime_split(benchmark, once, capsys):
+    result = once(
+        benchmark,
+        run_runtime_experiment,
+        dataset_names=("flights", "credit", "spotify", "cyber"),
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    for name in result.preprocess:
+        assert result.select[name] < result.preprocess[name], name
+    # CC (all-numeric) pays the most per-row pre-processing among the
+    # similarly-sized datasets.
+    credit_per_row = result.preprocess["credit"] / result.rows["credit"]
+    spotify_per_row = result.preprocess["spotify"] / result.rows["spotify"]
+    cyber_per_row = result.preprocess["cyber"] / result.rows["cyber"]
+    assert credit_per_row > spotify_per_row
+    assert credit_per_row > cyber_per_row

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the performance-critical substrates.
+
+These time the inner loops that determine SubTab's interactive latency
+(Fig. 9's story): binning, corpus + SGNS training, rule mining, coverage
+evaluation, and one centroid selection.  Useful for catching performance
+regressions independently of the figure-level experiments.
+"""
+
+import pytest
+
+from repro.bench import load_bundle
+from repro.binning import TableBinner
+from repro.core import SubTab, SubTabConfig
+from repro.embedding import Word2Vec, Word2VecConfig, build_corpus
+from repro.metrics import CoverageEvaluator
+from repro.rules import RuleMiner
+
+ROWS = 1500
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_bundle("cyber", n_rows=ROWS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(bundle):
+    subtab = SubTab(SubTabConfig(seed=0))
+    subtab.fit(bundle.frame, binned=bundle.binned)
+    return subtab
+
+
+def test_binning_speed(benchmark, bundle):
+    binner = TableBinner(n_bins=5, seed=0)
+    result = benchmark(binner.bin_table, bundle.dataset.frame)
+    assert result.n_rows == ROWS
+
+
+def test_corpus_and_word2vec_speed(benchmark, bundle):
+    def train():
+        sentences = build_corpus(bundle.binned, mode="rows", seed=0)
+        model = Word2Vec(
+            bundle.binned.n_tokens, Word2VecConfig(epochs=1), seed=0
+        )
+        model.train(sentences)
+        return model
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert model.vectors.shape[0] == bundle.binned.n_tokens
+
+
+def test_rule_mining_speed(benchmark, bundle):
+    miner = RuleMiner()
+    rules = benchmark.pedantic(
+        miner.mine, args=(bundle.binned,), rounds=1, iterations=1
+    )
+    assert len(rules) > 0
+
+
+def test_coverage_evaluation_speed(benchmark, bundle):
+    rules = bundle.scorer().rules
+    evaluator = CoverageEvaluator(bundle.binned, rules)
+    rows = list(range(10))
+    columns = bundle.binned.columns[:10]
+    value = benchmark(evaluator.coverage, rows, columns)
+    assert 0.0 <= value <= 1.0
+
+
+def test_selection_speed(benchmark, fitted):
+    """One centroid selection — the paper's per-display interactive cost."""
+    result = benchmark(fitted.select, 10, 10)
+    assert result.shape[0] == 10

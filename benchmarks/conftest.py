@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure from the paper's Section 6
+and prints the same rows/series the paper reports.  Experiments run once
+per benchmark (pedantic mode, 1 round): the interesting quantity is the
+experiment's output and its wall-clock, not statistical timing noise.
+
+Scale: row counts default to laptop-friendly sizes (see
+``repro.bench.harness.BENCH_ROWS``); set the environment variable
+``REPRO_SCALE`` to run closer to paper scale.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

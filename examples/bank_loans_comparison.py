@@ -1,0 +1,42 @@
+"""Comparing SubTab against the interactive baselines on bank loans.
+
+Runs SubTab, RAN (best-of-random under a budget) and NC (one-hot KMeans) on
+the bank-loans table, scores every sub-table with the paper's metrics
+(cell coverage, diversity, combined — Section 3.2), and prints the head-to-
+head comparison plus each algorithm's actual output so the difference is
+visible, not just numeric.
+
+Run:  python examples/bank_loans_comparison.py
+"""
+
+from repro.bench import format_table, load_bundle, prepare_selectors
+
+
+def main() -> None:
+    bundle = load_bundle("loans", n_rows=4_000, seed=5)
+    targets = bundle.dataset.target_columns  # ["LOAN_STATUS"]
+    print(f"Dataset: {bundle.name} {bundle.frame.shape}, target {targets}\n")
+
+    selectors = prepare_selectors(bundle, ["subtab", "ran", "nc"], seed=5)
+    scorer = bundle.scorer(targets=targets)
+
+    rows = []
+    outputs = {}
+    for name, selector in selectors.items():
+        subtable = selector.select(k=8, l=8, targets=targets)
+        scores = scorer.score(subtable.row_indices, subtable.columns)
+        rows.append([name, scores.cell_coverage, scores.diversity, scores.combined])
+        outputs[name] = subtable
+
+    print(format_table(
+        "Quality on loans (target-focused rules, alpha=0.5)",
+        ["selector", "cell_coverage", "diversity", "combined"],
+        rows,
+    ))
+    for name, subtable in outputs.items():
+        print(f"\n--- {name}'s 8x8 sub-table ---")
+        print(subtable)
+
+
+if __name__ == "__main__":
+    main()

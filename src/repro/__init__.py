@@ -1,0 +1,56 @@
+"""repro — reproduction of "Selecting Sub-tables for Data Exploration" (ICDE 2023).
+
+The package implements the SubTab framework end to end:
+
+* :mod:`repro.frame` — columnar DataFrame substrate (pandas stand-in);
+* :mod:`repro.binning` — KDE/width/quantile binning (Def. 3.2);
+* :mod:`repro.rules` — Apriori association-rule mining (Def. 3.4);
+* :mod:`repro.metrics` — cell coverage, diversity, combined score (Sec. 3.2);
+* :mod:`repro.embedding` — tabular Word2Vec and EmbDI-style embeddings (Sec. 5.1);
+* :mod:`repro.cluster` — KMeans and centroid-representative selection;
+* :mod:`repro.core` — the SubTab algorithm (Alg. 2) and display integration;
+* :mod:`repro.baselines` — RAN, NC, Greedy (Alg. 1), SemiGreedy, MAB, EmbDI;
+* :mod:`repro.queries` — SP query algebra and EDA-session simulation;
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's six datasets;
+* :mod:`repro.study` — simulated user study (Table 1, Fig. 5);
+* :mod:`repro.hardness` — executable reductions behind Propositions 4.1/4.2.
+
+Quickstart::
+
+    from repro import SubTab, SubTabConfig
+    from repro.datasets import make_dataset
+
+    table = make_dataset("flights", n_rows=5_000, seed=7)
+    subtab = SubTab(SubTabConfig(k=10, l=10, seed=7)).fit(table.frame)
+    print(subtab.select(targets=["CANCELLED"]))
+"""
+
+from repro.core import (
+    ExplorationSession,
+    SubTab,
+    SubTabConfig,
+    SubTable,
+    explore,
+)
+from repro.frame import Column, DataFrame, read_csv, to_csv
+from repro.metrics import Scores, SubTableScorer
+from repro.rules import AssociationRule, RuleMiner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssociationRule",
+    "Column",
+    "DataFrame",
+    "ExplorationSession",
+    "RuleMiner",
+    "Scores",
+    "SubTab",
+    "SubTabConfig",
+    "SubTable",
+    "SubTableScorer",
+    "__version__",
+    "explore",
+    "read_csv",
+    "to_csv",
+]

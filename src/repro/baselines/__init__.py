@@ -1,0 +1,48 @@
+"""Baseline sub-table selectors (paper Section 6.1).
+
+Interactive baselines: ``RandomSelector`` (RAN), ``NaiveClusteringSelector``
+(NC).  Slow baselines: ``GreedySelector`` (Algorithm 1),
+``SemiGreedySelector``, ``MABSelector``, ``EmbDISelector``.
+``SubTabSelector`` adapts SubTab to the same interface.
+
+Public surface::
+
+    from repro.baselines import (
+        RandomSelector, NaiveClusteringSelector, GreedySelector,
+        SemiGreedySelector, MABSelector, EmbDISelector, SubTabSelector,
+    )
+"""
+
+from repro.baselines.base import BaseSelector, random_column_choice
+from repro.baselines.embdi_baseline import EmbDISelector
+from repro.baselines.greedy import (
+    GreedySelector,
+    SemiGreedySelector,
+    greedy_row_selection,
+    iterate_column_subsets,
+)
+from repro.baselines.mab import MABSelector, UCBArms
+from repro.baselines.naive_cluster import (
+    NaiveClusteringSelector,
+    column_feature_vectors,
+    one_hot_rows,
+)
+from repro.baselines.random_search import RandomSelector
+from repro.baselines.subtab_adapter import SubTabSelector
+
+__all__ = [
+    "BaseSelector",
+    "EmbDISelector",
+    "GreedySelector",
+    "MABSelector",
+    "NaiveClusteringSelector",
+    "RandomSelector",
+    "SemiGreedySelector",
+    "SubTabSelector",
+    "UCBArms",
+    "column_feature_vectors",
+    "greedy_row_selection",
+    "iterate_column_subsets",
+    "one_hot_rows",
+    "random_column_choice",
+]

@@ -1,0 +1,135 @@
+"""Common selector interface shared by SubTab and all baselines.
+
+Every selector exposes ``prepare(frame)`` (one-time pre-processing, the
+analogue of SubTab's fit) and ``select(k, l, query=None, targets=())``
+returning a :class:`~repro.core.SubTable`.  The uniform interface lets the
+experiment harness swap algorithms freely — user study, session replay, and
+quality benches all drive selectors through this protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.binning.normalize import normalize_table
+from repro.binning.pipeline import BinnedTable, TableBinner
+from repro.core.result import SubTable, subtable_from_selection
+from repro.frame.frame import DataFrame
+from repro.utils.rng import ensure_rng
+
+
+class BaseSelector(ABC):
+    """Skeleton for sub-table selectors.
+
+    Subclasses implement :meth:`_select_from_view`, which receives the query
+    result as a binned view plus the global row indices it came from.
+    """
+
+    name = "base"
+
+    def __init__(self, seed=None):
+        self._rng = ensure_rng(seed)
+        self._frame: Optional[DataFrame] = None
+        self._binned: Optional[BinnedTable] = None
+
+    # -- preparation -------------------------------------------------------------
+    def prepare(self, frame: DataFrame, binned: Optional[BinnedTable] = None) -> "BaseSelector":
+        """One-time pre-processing of the full table.
+
+        ``binned`` may be supplied to share one binning across selectors
+        (the experiments do this so all algorithms see identical bins).
+        """
+        if binned is None:
+            normalized = normalize_table(frame)
+            binned = TableBinner().bin_table(normalized)
+        self._frame = binned.frame
+        self._binned = binned
+        self._after_prepare()
+        return self
+
+    def _after_prepare(self) -> None:
+        """Hook for subclass-specific preparation (embeddings, scorers...)."""
+
+    @property
+    def frame(self) -> DataFrame:
+        self._require_prepared()
+        return self._frame
+
+    @property
+    def binned(self) -> BinnedTable:
+        self._require_prepared()
+        return self._binned
+
+    def _require_prepared(self) -> None:
+        if self._binned is None:
+            raise RuntimeError(f"{type(self).__name__}: call prepare(frame) first")
+
+    # -- selection ------------------------------------------------------------
+    def select(
+        self,
+        k: int,
+        l: int,
+        query=None,
+        targets: Sequence[str] = (),
+    ) -> SubTable:
+        """Select a k x l sub-table of the table (or of a query result)."""
+        self._require_prepared()
+        if k < 1 or l < 1:
+            raise ValueError(f"sub-table dimensions must be positive, got k={k}, l={l}")
+        rows, columns = self._apply_query(query)
+        targets = list(targets)
+        missing = [t for t in targets if t not in columns]
+        if missing:
+            raise ValueError(f"target columns {missing} are not in the query result")
+        if len(targets) > l:
+            raise ValueError(f"cannot fit {len(targets)} target columns into l={l} columns")
+        view = self._binned.subset(rows=rows, columns=columns)
+        local_rows, selected_columns = self._select_from_view(
+            view, rows, columns, k, l, targets
+        )
+        selected_rows = [int(rows[i]) for i in local_rows]
+        return subtable_from_selection(
+            self._frame, selected_rows, selected_columns, targets=targets
+        )
+
+    @abstractmethod
+    def _select_from_view(
+        self,
+        view: BinnedTable,
+        rows: np.ndarray,
+        columns: list[str],
+        k: int,
+        l: int,
+        targets: list[str],
+    ) -> tuple[list[int], list[str]]:
+        """Return (row positions local to ``view``, selected column names)."""
+
+    def _apply_query(self, query) -> tuple[np.ndarray, list[str]]:
+        if query is None:
+            return np.arange(self._frame.n_rows), list(self._frame.columns)
+        rows = np.asarray(query.row_indices(self._frame), dtype=np.int64)
+        columns = list(query.output_columns(self._frame))
+        if len(rows) == 0:
+            raise ValueError("query selects no rows; nothing to display")
+        if not columns:
+            raise ValueError("query selects no columns; nothing to display")
+        return rows, columns
+
+
+def random_column_choice(
+    rng: np.random.Generator,
+    columns: list[str],
+    l: int,
+    targets: list[str],
+) -> list[str]:
+    """Uniformly choose ``l`` columns, always including the targets."""
+    free = [name for name in columns if name not in targets]
+    n_free = min(l - len(targets), len(free))
+    picked = set(targets)
+    if n_free > 0:
+        chosen = rng.choice(len(free), size=n_free, replace=False)
+        picked.update(free[i] for i in chosen)
+    return [name for name in columns if name in picked]

@@ -1,0 +1,80 @@
+"""EmbDI baseline selector (paper Section 6.1, baseline 6).
+
+Uses the EmbDI-style graph embedding (:mod:`repro.embedding.embdi`) in place
+of SubTab's tabular Word2Vec, then performs the *same* centroid-based
+selection.  Differences from SubTab are therefore attributable entirely to
+the embedding: quality is comparable (Fig. 7a) but pre-processing is an
+order of magnitude slower (Fig. 7b) because the walk corpus over the
+row/column/value graph is much larger than the tabular sentence corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseSelector
+from repro.binning.pipeline import BinnedTable
+from repro.core.selection import centroid_selection
+from repro.embedding.embdi import EmbDIEmbedder
+from repro.embedding.model import CellEmbeddingModel
+from repro.embedding.word2vec import Word2VecConfig
+from repro.utils.timer import timed
+
+
+class EmbDISelector(BaseSelector):
+    """Centroid selection over EmbDI graph-walk embeddings."""
+
+    name = "EmbDI"
+
+    def __init__(
+        self,
+        walks_per_node: int = 5,
+        walk_length: int = 20,
+        word2vec: Word2VecConfig | None = None,
+        centroid_mode: str = "nearest",
+        column_mode: str = "dispersion",
+        n_init: int = 4,
+        seed=None,
+    ):
+        super().__init__(seed=seed)
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.word2vec = word2vec or Word2VecConfig()
+        self.centroid_mode = centroid_mode
+        self.column_mode = column_mode
+        self.n_init = n_init
+        self._model: CellEmbeddingModel | None = None
+        self.timings_: dict[str, float] = {}
+
+    def _after_prepare(self) -> None:
+        embedder = EmbDIEmbedder(
+            walks_per_node=self.walks_per_node,
+            walk_length=self.walk_length,
+            config=self.word2vec,
+            seed=self._rng,
+        )
+        with timed(self.timings_, "preprocess_embedding"):
+            self._model = embedder.fit(self._binned)
+
+    def _select_from_view(
+        self,
+        view: BinnedTable,
+        rows: np.ndarray,
+        columns: list[str],
+        k: int,
+        l: int,
+        targets: list[str],
+    ) -> tuple[list[int], list[str]]:
+        with timed(self.timings_, "select"):
+            local_rows, selected_columns = centroid_selection(
+                view,
+                self._model,
+                k,
+                l,
+                targets=targets,
+                centroid_mode=self.centroid_mode,
+                column_mode=self.column_mode,
+                n_init=self.n_init,
+                seed=self._rng,
+            )
+        return local_rows, selected_columns

@@ -1,0 +1,66 @@
+"""Adapter exposing SubTab through the common selector interface.
+
+Experiments drive every algorithm through
+``prepare(frame, binned) / select(k, l, query, targets)``; this adapter lets
+SubTab share the same pre-computed binning as the baselines so that quality
+differences reflect the selection algorithm, not the bins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseSelector
+from repro.binning.pipeline import BinnedTable
+from repro.core.config import SubTabConfig
+from repro.core.selection import centroid_selection
+from repro.core.subtab import SubTab
+
+
+class SubTabSelector(BaseSelector):
+    """SubTab behind the :class:`BaseSelector` protocol."""
+
+    name = "SubTab"
+
+    def __init__(self, config: Optional[SubTabConfig] = None, seed=None):
+        config = config or SubTabConfig()
+        super().__init__(seed=config.seed if seed is None else seed)
+        self.config = config
+        self._subtab: Optional[SubTab] = None
+
+    def _after_prepare(self) -> None:
+        self._subtab = SubTab(self.config)
+        self._subtab.fit(self._frame, binned=self._binned)
+
+    @property
+    def subtab(self) -> SubTab:
+        self._require_prepared()
+        return self._subtab
+
+    @property
+    def timings_(self) -> dict:
+        return self._subtab.timings_ if self._subtab else {}
+
+    def _select_from_view(
+        self,
+        view: BinnedTable,
+        rows: np.ndarray,
+        columns: list[str],
+        k: int,
+        l: int,
+        targets: list[str],
+    ) -> tuple[list[int], list[str]]:
+        return centroid_selection(
+            view,
+            self._subtab.model,
+            k,
+            l,
+            targets=targets,
+            centroid_mode=self.config.centroid_mode,
+            column_mode=self.config.column_mode,
+            row_mode=self.config.row_mode,
+            n_init=self.config.kmeans_n_init,
+            seed=self._rng,
+        )

@@ -1,0 +1,63 @@
+"""Experiment harness regenerating every table and figure of Section 6.
+
+Public surface::
+
+    from repro.bench import (
+        run_quality_experiment,        # Figure 8
+        run_slow_baselines_experiment, # Figure 7
+        run_runtime_experiment,        # Figure 9
+        run_parameter_tuning_experiment,  # Figure 10
+        run_session_experiment,        # Figure 6
+        run_user_study_experiment,     # Table 1 + Figure 5
+    )
+"""
+
+from repro.bench.harness import (
+    BENCH_ROWS,
+    DatasetBundle,
+    bench_rows,
+    load_bundle,
+    make_selector,
+    prepare_selectors,
+    scale_factor,
+)
+from repro.bench.experiments import (
+    ParameterTuningResult,
+    QualityResult,
+    RuntimeResult,
+    SessionStudyResult,
+    SlowBaselineResult,
+    UserStudyExperimentResult,
+    run_parameter_tuning_experiment,
+    run_quality_experiment,
+    run_runtime_experiment,
+    run_session_experiment,
+    run_slow_baselines_experiment,
+    run_user_study_experiment,
+)
+from repro.bench.reporting import format_bars, format_series, format_table
+
+__all__ = [
+    "BENCH_ROWS",
+    "DatasetBundle",
+    "ParameterTuningResult",
+    "QualityResult",
+    "RuntimeResult",
+    "SessionStudyResult",
+    "SlowBaselineResult",
+    "UserStudyExperimentResult",
+    "bench_rows",
+    "format_bars",
+    "format_series",
+    "format_table",
+    "load_bundle",
+    "make_selector",
+    "prepare_selectors",
+    "run_parameter_tuning_experiment",
+    "run_quality_experiment",
+    "run_runtime_experiment",
+    "run_session_experiment",
+    "run_slow_baselines_experiment",
+    "run_user_study_experiment",
+    "scale_factor",
+]

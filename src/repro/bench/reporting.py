@@ -1,0 +1,60 @@
+"""ASCII rendering of experiment results (tables and figure series).
+
+The paper's figures are bar/line charts; the harness prints the same
+numbers as aligned text tables so each benchmark's output can be compared
+row by row with the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.frame.display import render_grid
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A titled, aligned table of stringified cells."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    body = render_grid(list(headers), text_rows)
+    bar = "=" * max(len(title), 8)
+    return f"{title}\n{bar}\n{body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Mapping],
+) -> str:
+    """A figure as a table: one row per x value, one column per series.
+
+    ``series`` maps series name -> {x: y}.
+    """
+    xs: list = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def format_bars(title: str, values: Mapping[str, float], unit: str = "") -> str:
+    """A one-bar-per-key chart rendered as value rows plus a scaled bar."""
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(abs(v) for v in values.values()) or 1.0
+    width = 40
+    lines = [title, "=" * max(len(title), 8)]
+    for key, value in values.items():
+        bar = "#" * max(1, int(round(width * abs(value) / peak)))
+        lines.append(f"{key:<12} {value:>10.3f}{unit}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Binning (paper Definition 3.2 and Section 5.1 pre-processing).
+
+Public surface::
+
+    from repro.binning import TableBinner, BinnedTable, normalize_table
+
+``TableBinner`` applies KDE-based binning to continuous columns (the method
+named in Section 6.1) and frequency-based grouping to categorical ones; every
+column with missing values also receives a dedicated missing bin.
+"""
+
+from repro.binning.base import (
+    CATEGORY,
+    MISSING,
+    MISSING_LABEL,
+    OTHER_LABEL,
+    RANGE,
+    Bin,
+    ColumnBinning,
+    make_range_bins,
+    range_labels,
+)
+from repro.binning.normalize import normalize_column, normalize_table, normalize_text
+from repro.binning.pipeline import BinnedTable, TableBinner, make_token
+from repro.binning.strategies import (
+    EQUAL_WIDTH,
+    KDE,
+    QUANTILE,
+    bin_categorical_column,
+    bin_numeric_column,
+    equal_width_edges,
+    kde_edges,
+    quantile_edges,
+)
+
+__all__ = [
+    "Bin",
+    "BinnedTable",
+    "CATEGORY",
+    "ColumnBinning",
+    "EQUAL_WIDTH",
+    "KDE",
+    "MISSING",
+    "MISSING_LABEL",
+    "OTHER_LABEL",
+    "QUANTILE",
+    "RANGE",
+    "TableBinner",
+    "bin_categorical_column",
+    "bin_numeric_column",
+    "equal_width_edges",
+    "kde_edges",
+    "make_range_bins",
+    "make_token",
+    "normalize_column",
+    "normalize_table",
+    "normalize_text",
+    "quantile_edges",
+    "range_labels",
+]

@@ -1,0 +1,198 @@
+"""Bin and per-column binning structures (paper Definition 3.2).
+
+A *binning function* maps each column to a finite set of bins such that every
+value belongs to exactly one bin.  We implement three bin flavors:
+
+* ``range`` bins partition a continuous domain into half-open intervals
+  ``[low, high)`` (the last interval is closed on the right);
+* ``category`` bins hold an explicit set of categorical values (one bin may
+  be a catch-all ``OTHER`` group, mirroring Example 3.3's airline grouping);
+* a dedicated ``missing`` bin absorbs NaN/None, so that missing-heavy
+  columns (e.g. delay fields of cancelled flights) form visible patterns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+RANGE = "range"
+CATEGORY = "category"
+MISSING = "missing"
+
+MISSING_LABEL = "missing"
+OTHER_LABEL = "OTHER"
+
+# Friendly labels used when a column has at most five range bins, echoing the
+# paper's short/medium/long example.
+_NAMED_LABELS = {
+    1: ["all"],
+    2: ["low", "high"],
+    3: ["low", "medium", "high"],
+    4: ["very_low", "low", "high", "very_high"],
+    5: ["very_low", "low", "medium", "high", "very_high"],
+}
+
+
+@dataclass(frozen=True)
+class Bin:
+    """One bin of one column.
+
+    ``label`` is unique within the column and stable across calls, so
+    ``(column, label)`` identifies a bin globally — this pair is the *item*
+    used by association rules and the *token* used by the embedding.
+    """
+
+    column: str
+    label: str
+    kind: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    closed_right: bool = False
+    categories: frozenset = field(default_factory=frozenset)
+
+    def contains(self, value) -> bool:
+        """Membership test for a raw cell value."""
+        if self.kind == MISSING:
+            return value is None or (isinstance(value, float) and math.isnan(value))
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return False
+        if self.kind == RANGE:
+            value = float(value)
+            if self.closed_right:
+                return self.low <= value <= self.high
+            return self.low <= value < self.high
+        return value in self.categories
+
+    def describe(self) -> str:
+        """Human-readable description used by the highlighting UI."""
+        if self.kind == MISSING:
+            return f"{self.column} is missing"
+        if self.kind == RANGE:
+            bracket = "]" if self.closed_right else ")"
+            return f"{self.column} in [{self.low:.4g}, {self.high:.4g}{bracket}"
+        if len(self.categories) == 1:
+            return f"{self.column} = {next(iter(self.categories))}"
+        return f"{self.column} in {{{', '.join(sorted(map(str, self.categories)))}}}"
+
+
+class ColumnBinning:
+    """The ordered list of bins for a single column, with vectorized assignment.
+
+    The missing bin, when present, is always the *last* bin.  Assignment
+    returns the bin index for each value; every value maps to exactly one bin
+    (the partition invariant, verified by property tests).
+    """
+
+    def __init__(self, column: str, bins: list[Bin], edges: "np.ndarray | None" = None):
+        if not bins:
+            raise ValueError(f"column {column!r} needs at least one bin")
+        labels = [bin_.label for bin_ in bins]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate bin labels in column {column!r}: {labels}")
+        self.column = column
+        self.bins = list(bins)
+        # For range binnings, ``edges`` holds the sorted interior cut points
+        # so assignment can use searchsorted instead of per-bin containment.
+        self._edges = edges
+        self._missing_index = next(
+            (i for i, bin_ in enumerate(bins) if bin_.kind == MISSING), None
+        )
+        self._category_index: dict = {}
+        self._other_index: Optional[int] = None
+        for i, bin_ in enumerate(bins):
+            if bin_.kind != CATEGORY:
+                continue
+            if bin_.label == OTHER_LABEL:
+                self._other_index = i
+            for value in bin_.categories:
+                self._category_index[value] = i
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+    @property
+    def labels(self) -> list[str]:
+        return [bin_.label for bin_ in self.bins]
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Bin index for each value in ``values`` (numpy array)."""
+        if self._edges is not None:
+            return self._assign_ranges(values)
+        return self._assign_categories(values)
+
+    def _assign_ranges(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        missing = np.isnan(values)
+        codes = np.searchsorted(self._edges, values, side="right").astype(np.int64)
+        n_range_bins = len(self._edges) + 1
+        codes = np.clip(codes, 0, n_range_bins - 1)
+        if self._missing_index is not None:
+            codes[missing] = self._missing_index
+        elif missing.any():
+            raise ValueError(
+                f"column {self.column!r} has missing values but no missing bin"
+            )
+        return codes
+
+    def _assign_categories(self, values: np.ndarray) -> np.ndarray:
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                if self._missing_index is None:
+                    raise ValueError(
+                        f"column {self.column!r} has missing values but no missing bin"
+                    )
+                codes[i] = self._missing_index
+                continue
+            index = self._category_index.get(value, self._other_index)
+            if index is None:
+                raise ValueError(
+                    f"value {value!r} of column {self.column!r} matches no bin"
+                )
+            codes[i] = index
+        return codes
+
+    def bin_of(self, value) -> Bin:
+        """The single bin containing ``value``."""
+        for bin_ in self.bins:
+            if bin_.contains(value):
+                return bin_
+        raise ValueError(f"value {value!r} of column {self.column!r} matches no bin")
+
+
+def range_labels(n: int) -> list[str]:
+    """Labels for ``n`` range bins: semantic names up to 5, ``bin_i`` beyond."""
+    if n in _NAMED_LABELS:
+        return list(_NAMED_LABELS[n])
+    return [f"bin_{i}" for i in range(n)]
+
+
+def make_range_bins(column: str, edges: np.ndarray, lo: float, hi: float,
+                    include_missing: bool) -> ColumnBinning:
+    """Build a :class:`ColumnBinning` of ``len(edges)+1`` intervals over [lo, hi].
+
+    ``edges`` are the interior cut points (sorted, strictly inside (lo, hi)).
+    """
+    edges = np.asarray(edges, dtype=np.float64)
+    bounds = np.concatenate([[lo], edges, [hi]])
+    n = len(bounds) - 1
+    labels = range_labels(n)
+    bins = [
+        Bin(
+            column=column,
+            label=labels[i],
+            kind=RANGE,
+            low=float(bounds[i]),
+            high=float(bounds[i + 1]),
+            closed_right=(i == n - 1),
+        )
+        for i in range(n)
+    ]
+    if include_missing:
+        bins.append(Bin(column=column, label=MISSING_LABEL, kind=MISSING))
+    return ColumnBinning(column, bins, edges=edges)

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``show`` — print the informative sub-table of a CSV file (or of a named
+  synthetic dataset), optionally with target columns;
+* ``experiment`` — run one of the paper's experiments and print its
+  table/figure;
+* ``datasets`` — list the available synthetic datasets.
+
+Examples::
+
+    python -m repro show --dataset flights --rows 5000 --targets CANCELLED
+    python -m repro show --csv mydata.csv -k 8 -l 8
+    python -m repro experiment fig8 --rows 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    run_parameter_tuning_experiment,
+    run_quality_experiment,
+    run_runtime_experiment,
+    run_session_experiment,
+    run_slow_baselines_experiment,
+    run_user_study_experiment,
+)
+from repro.core import SubTab, SubTabConfig
+from repro.datasets import dataset_names, dataset_spec, make_dataset
+from repro.frame.io import read_csv
+
+EXPERIMENTS = {
+    "table1": run_user_study_experiment,
+    "fig5": run_user_study_experiment,
+    "fig6": run_session_experiment,
+    "fig7": run_slow_baselines_experiment,
+    "fig8": run_quality_experiment,
+    "fig9": run_runtime_experiment,
+    "fig10": run_parameter_tuning_experiment,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SubTab: informative sub-tables for data exploration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="display an informative sub-table")
+    source = show.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", help="path to a CSV file with a header row")
+    source.add_argument("--dataset", help="name of a synthetic dataset")
+    show.add_argument("--rows", type=int, default=None,
+                      help="rows to synthesize (datasets only)")
+    show.add_argument("-k", type=int, default=10, help="sub-table rows")
+    show.add_argument("-l", type=int, default=10, help="sub-table columns")
+    show.add_argument("--targets", nargs="*", default=[],
+                      help="target columns forced into the selection")
+    show.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS.keys()))
+    experiment.add_argument("--rows", type=int, default=None,
+                            help="override dataset row counts")
+    experiment.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list synthetic datasets")
+    return parser
+
+
+def _cmd_show(args) -> int:
+    if args.csv:
+        frame = read_csv(args.csv)
+        targets = list(args.targets)
+    else:
+        dataset = make_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+        frame = dataset.frame
+        targets = list(args.targets) or dataset.target_columns
+    print(f"Table: {frame.n_rows} rows x {frame.n_cols} columns")
+    subtab = SubTab(SubTabConfig(k=args.k, l=args.l, seed=args.seed)).fit(frame)
+    print(f"Pre-processing: {subtab.timings_['preprocess_total']:.1f}s\n")
+    print(subtab.select(targets=targets))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    runner = EXPERIMENTS[args.name]
+    kwargs = {"seed": args.seed}
+    if args.rows is not None:
+        kwargs["n_rows"] = args.rows
+    result = runner(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_datasets() -> int:
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        print(f"{name:10s} {spec.default_rows:>7} rows x {len(spec.columns):>3} cols"
+              f"  targets={list(spec.target_columns)}")
+        print(f"{'':10s} {spec.description}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_datasets()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

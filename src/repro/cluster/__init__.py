@@ -1,0 +1,23 @@
+"""Clustering substrate (stand-in for sklearn KMeans) and centroid selection.
+
+Public surface::
+
+    from repro.cluster import KMeans, select_representatives
+"""
+
+from repro.cluster.centroids import (
+    MEDOID,
+    NEAREST,
+    RANDOM_MEMBER,
+    select_representatives,
+)
+from repro.cluster.kmeans import KMeans, KMeansResult
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "MEDOID",
+    "NEAREST",
+    "RANDOM_MEMBER",
+    "select_representatives",
+]

@@ -1,0 +1,99 @@
+"""Centroid-representative selection (paper Algorithm 2, lines 11-17).
+
+Clusters the vectors into ``k`` groups and returns the index of the actual
+point nearest each cluster center — "select the centroids as rows/columns
+that represent diverse patterns in the data".  Always returns exactly
+``min(k, n)`` distinct indices: duplicate or empty picks are repaired with a
+farthest-point sweep so downstream sub-tables have the requested dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans, _squared_distances
+from repro.utils.rng import ensure_rng
+
+NEAREST = "nearest"
+MEDOID = "medoid"
+RANDOM_MEMBER = "random"
+SALIENT = "salient"
+
+_MODES = (NEAREST, MEDOID, RANDOM_MEMBER, SALIENT)
+
+
+def _pick_representative(
+    points: np.ndarray,
+    member_indices: np.ndarray,
+    center: np.ndarray,
+    mode: str,
+    rng: np.random.Generator,
+) -> int:
+    members = points[member_indices]
+    if mode == NEAREST:
+        distances = _squared_distances(members, center[np.newaxis, :]).ravel()
+        return int(member_indices[distances.argmin()])
+    if mode == MEDOID:
+        pairwise = _squared_distances(members, members)
+        return int(member_indices[pairwise.sum(axis=1).argmin()])
+    if mode == SALIENT:
+        # The member with the largest vector norm: strongly-trained tokens
+        # (pattern carriers) have large vectors, so this favors the cluster
+        # member that most exemplifies the cluster's pattern.
+        norms = np.einsum("nd,nd->n", members, members)
+        return int(member_indices[norms.argmax()])
+    return int(member_indices[rng.integers(0, len(member_indices))])
+
+
+def _fill_missing(points: np.ndarray, chosen: list[int], k: int,
+                  rng: np.random.Generator) -> list[int]:
+    """Farthest-point completion when clustering yielded < k distinct picks."""
+    chosen = list(dict.fromkeys(chosen))
+    remaining = [i for i in range(len(points)) if i not in set(chosen)]
+    while len(chosen) < k and remaining:
+        if chosen:
+            distances = _squared_distances(
+                points[remaining], points[chosen]
+            ).min(axis=1)
+            pick = remaining[int(distances.argmax())]
+        else:
+            pick = remaining[rng.integers(0, len(remaining))]
+        chosen.append(pick)
+        remaining.remove(pick)
+    return chosen
+
+
+def select_representatives(
+    points: np.ndarray,
+    k: int,
+    mode: str = NEAREST,
+    n_init: int = 4,
+    seed=None,
+) -> list[int]:
+    """Indices of ``min(k, n)`` representative points.
+
+    ``mode`` selects how a cluster is represented: the member nearest the
+    center (paper behaviour), the medoid, or a random member (ablation).
+    """
+    if mode not in _MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
+    points = np.asarray(points, dtype=np.float64)
+    rng = ensure_rng(seed)
+    n = points.shape[0]
+    if n == 0:
+        return []
+    k = min(k, n)
+    if k == n:
+        return list(range(n))
+    result = KMeans(n_clusters=k, n_init=n_init, seed=rng).fit(points)
+    chosen: list[int] = []
+    for cluster in range(result.k):
+        member_indices = np.flatnonzero(result.labels == cluster)
+        if len(member_indices) == 0:
+            continue
+        chosen.append(
+            _pick_representative(
+                points, member_indices, result.centers[cluster], mode, rng
+            )
+        )
+    return sorted(_fill_missing(points, chosen, k, rng))

@@ -1,0 +1,136 @@
+"""KMeans clustering (Lloyd's algorithm with k-means++ initialization).
+
+The paper clusters tuple-vectors and column-vectors with sklearn's KMeans;
+sklearn is unavailable offline, so this is a faithful numpy implementation:
+k-means++ seeding, Lloyd iterations until center movement falls below
+``tol``, best of ``n_init`` restarts by inertia.  Empty clusters are
+re-seeded at the point farthest from its assigned center, so ``fit`` always
+returns exactly ``k`` non-empty clusters when the data has >= k points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class KMeansResult:
+    """Cluster assignment of one fitted run."""
+
+    centers: np.ndarray   # (k, d)
+    labels: np.ndarray    # (n,)
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+
+def _squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(n, k) matrix of squared euclidean distances."""
+    cross = points @ centers.T
+    point_norms = np.einsum("nd,nd->n", points, points)[:, np.newaxis]
+    center_norms = np.einsum("kd,kd->k", centers, centers)[np.newaxis, :]
+    distances = point_norms + center_norms - 2.0 * cross
+    return np.maximum(distances, 0.0)
+
+
+def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007)."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = rng.integers(0, n)
+    centers[0] = points[first]
+    closest = _squared_distances(points, centers[0:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers; pick randomly.
+            choice = rng.integers(0, n)
+        else:
+            probabilities = closest / total
+            choice = rng.choice(n, p=probabilities)
+        centers[i] = points[choice]
+        distances = _squared_distances(points, centers[i:i + 1]).ravel()
+        closest = np.minimum(closest, distances)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+    rng: np.random.Generator,
+) -> KMeansResult:
+    k = centers.shape[0]
+    for _ in range(max_iter):
+        distances = _squared_distances(points, centers)
+        labels = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members) > 0:
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the worst-served point.
+                worst = distances[np.arange(len(points)), labels].argmax()
+                new_centers[cluster] = points[worst]
+        shift = float(np.linalg.norm(new_centers - centers))
+        centers = new_centers
+        if shift <= tol:
+            break
+    distances = _squared_distances(points, centers)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(len(points)), labels].sum())
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia)
+
+
+class KMeans:
+    """KMeans estimator with sklearn-like ergonomics.
+
+    >>> model = KMeans(n_clusters=2, seed=0)
+    >>> result = model.fit(np.array([[0.0], [0.1], [5.0], [5.1]]))
+    >>> sorted(np.unique(result.labels).tolist())
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed=None,
+    ):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_init < 1:
+            raise ValueError(f"n_init must be >= 1, got {n_init}")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = ensure_rng(seed)
+
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-D array")
+        if not np.isfinite(points).all():
+            raise ValueError("points contain non-finite values; cannot cluster")
+        n = points.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty point set")
+        k = min(self.n_clusters, n)
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            centers = _kmeans_plus_plus(points, k, self._rng)
+            result = _lloyd(points, centers, self.max_iter, self.tol, self._rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        return best

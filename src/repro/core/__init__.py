@@ -1,0 +1,36 @@
+"""SubTab core (paper Section 5): the practical sub-table selection pipeline.
+
+Public surface::
+
+    from repro.core import SubTab, SubTabConfig, SubTable, explore
+"""
+
+from repro.core.config import PMI_SVD, WORD2VEC, SubTabConfig
+from repro.core.fairness import (
+    GroupRepresentation,
+    enforce_representation,
+    is_fair,
+)
+from repro.core.highlight import RuleHighlighter, highlight
+from repro.core.hooks import ExplorationSession, explore
+from repro.core.result import SubTable, subtable_from_selection
+from repro.core.selection import centroid_selection
+from repro.core.subtab import NotFittedError, SubTab
+
+__all__ = [
+    "ExplorationSession",
+    "GroupRepresentation",
+    "NotFittedError",
+    "enforce_representation",
+    "is_fair",
+    "PMI_SVD",
+    "RuleHighlighter",
+    "SubTab",
+    "SubTabConfig",
+    "SubTable",
+    "WORD2VEC",
+    "centroid_selection",
+    "explore",
+    "highlight",
+    "subtable_from_selection",
+]

@@ -1,0 +1,89 @@
+"""Configuration for the SubTab pipeline (paper Algorithm 2 + Section 6.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.binning.strategies import KDE
+from repro.cluster.centroids import NEAREST
+from repro.embedding.corpus import (
+    DEFAULT_COLUMN_CHUNK,
+    DEFAULT_MAX_SENTENCES,
+    ROWS_ONLY,
+)
+from repro.embedding.word2vec import Word2VecConfig
+
+WORD2VEC = "word2vec"
+PMI_SVD = "pmi"
+
+_EMBEDDERS = (WORD2VEC, PMI_SVD)
+
+
+@dataclass
+class SubTabConfig:
+    """All knobs of the SubTab pipeline, with the paper's defaults.
+
+    Attributes
+    ----------
+    k, l:
+        Default sub-table dimensions (10 x 10 in the paper's experiments).
+    n_bins:
+        Bins per continuous column (5; Fig. 10a varies it).
+    bin_strategy:
+        ``"kde"`` per Section 6.1; ``"width"``/``"quantile"`` for ablation.
+    max_categories:
+        Cap on categorical bins before an OTHER group is introduced.
+    embedder:
+        ``"word2vec"`` (paper) or ``"pmi"`` (deterministic ablation).
+    corpus_mode:
+        ``"rows"`` (default) or ``"rows+columns"`` (the paper's corpus).
+        The paper serializes both tuple-sentences and column-sentences; over
+        a *binned* table, column-sentences contain co-occurrences between
+        different bins of the same column, which pulls those bins together.
+        That costs quality on wide missing-heavy tables (FL) and helps
+        mildly on narrow ones (SP/CY) — see the corpus ablation bench — so
+        the default uses tuple-sentences only.
+    max_sentences:
+        Corpus cap (paper: 100K sentences, uniformly sampled).
+    column_chunk:
+        Column-sentence chunk length.
+    word2vec:
+        SGNS hyper-parameters.
+    centroid_mode:
+        Cluster-representative policy: nearest (paper), medoid, or random.
+    column_mode:
+        Column-budget policy: ``"dispersion"`` (default — cluster columns,
+        allocate the budget across clusters by embedded dispersion; see
+        :mod:`repro.core.selection`) or ``"centroid"`` (the literal
+        one-representative-per-cluster rule of Algorithm 2).
+    row_mode:
+        Row-budget policy: ``"cluster"`` (default, Algorithm 2 — one
+        representative per row cluster) or ``"mass"`` (allocate the row
+        budget across clusters by signal mass; ablation).
+    kmeans_n_init:
+        KMeans restarts for row/column clustering.
+    seed:
+        Master seed for the entire pipeline.
+    """
+
+    k: int = 10
+    l: int = 10
+    n_bins: int = 5
+    bin_strategy: str = KDE
+    max_categories: int = 12
+    embedder: str = WORD2VEC
+    corpus_mode: str = ROWS_ONLY
+    max_sentences: int = DEFAULT_MAX_SENTENCES
+    column_chunk: int = DEFAULT_COLUMN_CHUNK
+    word2vec: Word2VecConfig = field(default_factory=Word2VecConfig)
+    centroid_mode: str = NEAREST
+    column_mode: str = "dispersion"
+    row_mode: str = "cluster"
+    kmeans_n_init: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.k < 1 or self.l < 1:
+            raise ValueError(f"sub-table dimensions must be positive, got k={self.k}, l={self.l}")
+        if self.embedder not in _EMBEDDERS:
+            raise ValueError(f"unknown embedder {self.embedder!r}; expected one of {_EMBEDDERS}")

@@ -1,0 +1,130 @@
+"""Fairness-constrained sub-table selection (paper future work, Section 7).
+
+The paper's conclusion proposes "computing sub-tables that meet certain
+fairness requirements with respect to the data they represent".  This module
+implements the natural first such requirement: *group representation* — the
+selected rows must include at least ``min_per_group`` rows from every group
+(bin) of a protected column that is sufficiently present in the data.
+
+Enforcement is a post-processing repair of the centroid selection: while
+some eligible group is under-represented, its most salient member (largest
+tuple-vector norm, i.e. the row most exemplifying a pattern) is swapped in
+for the most redundant selected row — the one from the most over-represented
+group whose removal least reduces spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+
+
+@dataclass(frozen=True)
+class GroupRepresentation:
+    """Representation constraint on one (typically protected) column.
+
+    Attributes
+    ----------
+    column:
+        The column whose groups (bins) must be represented.
+    min_per_group:
+        Minimum selected rows per eligible group.
+    min_group_share:
+        Groups smaller than this fraction of the view are exempt (a group
+        with two rows in a million cannot demand a seat in every 10-row
+        display); set to 0.0 to make every non-empty group eligible.
+    """
+
+    column: str
+    min_per_group: int = 1
+    min_group_share: float = 0.02
+
+    def __post_init__(self):
+        if self.min_per_group < 1:
+            raise ValueError("min_per_group must be >= 1")
+        if not 0.0 <= self.min_group_share < 1.0:
+            raise ValueError("min_group_share must be in [0, 1)")
+
+
+def eligible_groups(view: BinnedTable, constraint: GroupRepresentation) -> list[int]:
+    """Bin codes of the constraint column that are large enough to count."""
+    j = view.column_index(constraint.column)
+    codes = view.codes[:, j]
+    groups = []
+    for code in np.unique(codes):
+        share = (codes == code).sum() / view.n_rows
+        if share >= constraint.min_group_share:
+            groups.append(int(code))
+    return groups
+
+
+def representation_counts(
+    view: BinnedTable, rows: list[int], constraint: GroupRepresentation
+) -> dict[int, int]:
+    """Selected-row count per group code."""
+    j = view.column_index(constraint.column)
+    counts: dict[int, int] = {}
+    for row in rows:
+        code = int(view.codes[row, j])
+        counts[code] = counts.get(code, 0) + 1
+    return counts
+
+
+def is_fair(view: BinnedTable, rows: list[int],
+            constraint: GroupRepresentation) -> bool:
+    """Whether a selection satisfies the representation constraint."""
+    counts = representation_counts(view, rows, constraint)
+    return all(
+        counts.get(group, 0) >= constraint.min_per_group
+        for group in eligible_groups(view, constraint)
+    )
+
+
+def enforce_representation(
+    view: BinnedTable,
+    rows: list[int],
+    row_vectors: np.ndarray,
+    constraint: GroupRepresentation,
+) -> list[int]:
+    """Repair ``rows`` (view-local positions) to satisfy ``constraint``.
+
+    Swaps preserve the selection size.  If the constraint is unsatisfiable
+    (more eligible groups x min_per_group than selected rows), groups are
+    served in decreasing size until the budget runs out.
+    """
+    j = view.column_index(constraint.column)
+    codes = view.codes[:, j]
+    norms = np.einsum("nd,nd->n", row_vectors, row_vectors)
+    selected = list(rows)
+    groups = eligible_groups(view, constraint)
+    # Largest groups first, so an infeasible budget serves the biggest.
+    groups.sort(key=lambda g: -(codes == g).sum())
+
+    for group in groups:
+        while True:
+            counts = representation_counts(view, selected, constraint)
+            deficit = constraint.min_per_group - counts.get(group, 0)
+            if deficit <= 0:
+                break
+            members = [
+                int(i) for i in np.flatnonzero(codes == group)
+                if int(i) not in set(selected)
+            ]
+            if not members:
+                break
+            incoming = max(members, key=lambda i: norms[i])
+            # Evict from the most over-represented group, the least salient row.
+            surplus = {
+                g: c - (constraint.min_per_group if g in groups else 0)
+                for g, c in counts.items()
+            }
+            donor_group = max(surplus, key=lambda g: (surplus[g], counts[g]))
+            if surplus[donor_group] <= 0 and len(counts) <= len(groups):
+                break  # nothing can be evicted without breaking another group
+            donors = [i for i in selected if int(codes[i]) == donor_group]
+            outgoing = min(donors, key=lambda i: norms[i])
+            selected[selected.index(outgoing)] = incoming
+    return sorted(selected)

@@ -1,0 +1,89 @@
+"""Notebook-style integration — the library's answer to "hooks into Pandas".
+
+The paper ships SubTab as a local library that replaces pandas' default
+``display()`` with an informative sub-table.  Our explicit equivalent is
+:class:`ExplorationSession`: bind it to a table once (which runs the
+pre-processing phase) and every subsequent ``show(...)`` — on the table or on
+a query over it — prints a k x l informative sub-table, optionally with
+association rules highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import SubTabConfig
+from repro.core.highlight import RuleHighlighter
+from repro.core.result import SubTable
+from repro.core.subtab import SubTab
+from repro.frame.frame import DataFrame
+from repro.metrics.combined import SubTableScorer
+from repro.rules.miner import RuleMiner
+
+
+class ExplorationSession:
+    """A fitted SubTab bound to one table, for interactive exploration.
+
+    >>> from repro.frame import DataFrame
+    >>> frame = DataFrame({"a": [1.0, 2.0, 3.0, 40.0] * 5,
+    ...                    "b": ["x", "y", "x", "y"] * 5})
+    >>> session = ExplorationSession(frame, SubTabConfig(k=2, l=2, seed=0))
+    >>> isinstance(session.subtable(), SubTable)
+    True
+    """
+
+    def __init__(self, frame: DataFrame, config: Optional[SubTabConfig] = None):
+        self.subtab = SubTab(config).fit(frame)
+        self._scorer: Optional[SubTableScorer] = None
+        self._scorer_targets: tuple = ()
+
+    @property
+    def frame(self) -> DataFrame:
+        return self.subtab.frame
+
+    def subtable(
+        self,
+        query=None,
+        k: Optional[int] = None,
+        l: Optional[int] = None,
+        targets: Sequence[str] = (),
+    ) -> SubTable:
+        """Compute the informative sub-table for the table or a query result."""
+        return self.subtab.select(k=k, l=l, query=query, targets=targets)
+
+    def _ensure_scorer(self, targets: Sequence[str]) -> SubTableScorer:
+        key = tuple(targets)
+        if self._scorer is None or self._scorer_targets != key:
+            miner = RuleMiner()
+            self._scorer = SubTableScorer(
+                self.subtab.binned, miner=miner, targets=list(targets) or None
+            )
+            self._scorer_targets = key
+        return self._scorer
+
+    def show(
+        self,
+        query=None,
+        k: Optional[int] = None,
+        l: Optional[int] = None,
+        targets: Sequence[str] = (),
+        highlight_rules: bool = False,
+    ) -> str:
+        """Render (and return) the sub-table display string.
+
+        With ``highlight_rules=True`` association rules are mined once and
+        the covered ones are colored in the output, as in the paper's UI.
+        """
+        subtable = self.subtable(query=query, k=k, l=l, targets=targets)
+        if not highlight_rules:
+            text = subtable.to_string()
+        else:
+            scorer = self._ensure_scorer(targets)
+            text = RuleHighlighter(scorer.evaluator, subtable).render()
+        print(text)
+        return text
+
+
+def explore(frame: DataFrame, config: Optional[SubTabConfig] = None) -> ExplorationSession:
+    """Start an exploration session over ``frame`` (fits SubTab once)."""
+    return ExplorationSession(frame, config)

@@ -1,0 +1,35 @@
+"""Synthetic datasets mirroring the paper's six evaluation datasets.
+
+Public surface::
+
+    from repro.datasets import make_dataset, dataset_spec, dataset_names
+
+    flights = make_dataset("flights", n_rows=20_000, seed=0)  # alias "FL" works too
+"""
+
+from repro.datasets.generator import SyntheticDataset, generate_dataset
+from repro.datasets.registry import (
+    dataset_names,
+    dataset_spec,
+    make_dataset,
+    resolve_name,
+)
+from repro.datasets.schema import (
+    CategoricalSpec,
+    DatasetSpec,
+    DerivedSpec,
+    NumericSpec,
+)
+
+__all__ = [
+    "CategoricalSpec",
+    "DatasetSpec",
+    "DerivedSpec",
+    "NumericSpec",
+    "SyntheticDataset",
+    "dataset_names",
+    "dataset_spec",
+    "generate_dataset",
+    "make_dataset",
+    "resolve_name",
+]

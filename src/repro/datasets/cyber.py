@@ -1,0 +1,198 @@
+"""CY — synthetic stand-in for the Honeynet cyber-security dataset.
+
+The paper's CY dataset (30K rows x 15 columns) backs the simulation study of
+Fig. 6, whose sessions filter and group on attack attributes.  Archetypes
+model canonical honeypot traffic profiles; ports, protocols, services and
+volumes are tightly coupled within each profile, planting strong rules.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import CategoricalSpec, DatasetSpec, NumericSpec
+
+SSH_BRUTE = "ssh_bruteforce"
+TELNET_BOTNET = "telnet_botnet"
+HTTP_SCAN = "http_scan"
+SMB_EXPLOIT = "smb_exploit"
+BENIGN = "benign_probe"
+# Unattributed mixed traffic with weakly-coupled attributes.
+BACKGROUND = "background"
+
+_ARCHETYPES = {
+    SSH_BRUTE: 0.22,
+    TELNET_BOTNET: 0.16,
+    HTTP_SCAN: 0.16,
+    SMB_EXPLOIT: 0.08,
+    BENIGN: 0.10,
+    BACKGROUND: 0.28,
+}
+
+
+def build_cyber_spec() -> DatasetSpec:
+    """The CY dataset specification."""
+    columns = [
+        NumericSpec(
+            "HOUR",
+            default=(12.0, 6.9),
+            by_archetype={TELNET_BOTNET: (3.0, 2.0), HTTP_SCAN: (14.0, 3.0)},
+            clip=(0, 23),
+            round_to=0,
+        ),
+        CategoricalSpec(
+            "SRC_REGION",
+            default={"apac": 2, "emea": 2, "amer": 2, "other": 1},
+            by_archetype={
+                SSH_BRUTE: {"apac": 4, "emea": 1},
+                TELNET_BOTNET: {"apac": 3, "other": 2},
+                SMB_EXPLOIT: {"emea": 3, "amer": 1},
+            },
+        ),
+        NumericSpec(
+            "DST_PORT",
+            default=(8000.0, 4000.0),
+            by_archetype={
+                SSH_BRUTE: (22.0, 0.0),
+                TELNET_BOTNET: (23.0, 0.0),
+                HTTP_SCAN: (80.0, 0.0),
+                SMB_EXPLOIT: (445.0, 0.0),
+                BACKGROUND: (20000.0, 15000.0),
+            },
+            clip=(1, 65535),
+            round_to=0,
+        ),
+        CategoricalSpec(
+            "PROTOCOL",
+            default={"tcp": 4, "udp": 2, "icmp": 1},
+            by_archetype={
+                SSH_BRUTE: {"tcp": 1},
+                TELNET_BOTNET: {"tcp": 1},
+                HTTP_SCAN: {"tcp": 5, "udp": 1},
+                SMB_EXPLOIT: {"tcp": 1},
+            },
+        ),
+        CategoricalSpec(
+            "SERVICE",
+            default={"unknown": 3, "dns": 1, "ntp": 1},
+            by_archetype={
+                SSH_BRUTE: {"ssh": 1},
+                TELNET_BOTNET: {"telnet": 1},
+                HTTP_SCAN: {"http": 4, "https": 1},
+                SMB_EXPLOIT: {"smb": 1},
+            },
+        ),
+        CategoricalSpec(
+            "ATTACK_TYPE",
+            default={"probe": 3, "other": 1},
+            by_archetype={
+                SSH_BRUTE: {"bruteforce": 5, "probe": 1},
+                TELNET_BOTNET: {"botnet": 5, "bruteforce": 1},
+                HTTP_SCAN: {"scan": 5, "probe": 1},
+                SMB_EXPLOIT: {"exploit": 5, "scan": 1},
+            },
+        ),
+        CategoricalSpec(
+            "COUNTRY",
+            default={"CN": 2, "US": 2, "RU": 2, "BR": 1, "DE": 1, "VN": 1},
+            by_archetype={
+                SSH_BRUTE: {"CN": 4, "VN": 2, "RU": 1},
+                TELNET_BOTNET: {"BR": 3, "VN": 3, "CN": 1},
+                SMB_EXPLOIT: {"RU": 4, "DE": 1},
+            },
+        ),
+        NumericSpec(
+            "SESSION_DURATION",
+            default=(20.0, 12.0),
+            by_archetype={
+                SSH_BRUTE: (180.0, 60.0),
+                TELNET_BOTNET: (45.0, 20.0),
+                HTTP_SCAN: (2.0, 1.0),
+                BENIGN: (1.0, 0.5),
+                BACKGROUND: (40.0, 45.0),
+            },
+            clip=(0, 3600),
+            round_to=1,
+        ),
+        NumericSpec(
+            "PACKETS",
+            default=(30.0, 15.0),
+            by_archetype={
+                SSH_BRUTE: (900.0, 250.0),
+                TELNET_BOTNET: (300.0, 90.0),
+                HTTP_SCAN: (8.0, 3.0),
+                BENIGN: (3.0, 1.5),
+                BACKGROUND: (120.0, 140.0),
+            },
+            clip=(1, 100000),
+            round_to=0,
+        ),
+        NumericSpec(
+            "BYTES",
+            default=(4000.0, 2000.0),
+            by_archetype={
+                SSH_BRUTE: (120000.0, 30000.0),
+                TELNET_BOTNET: (45000.0, 12000.0),
+                HTTP_SCAN: (1500.0, 600.0),
+                BENIGN: (400.0, 150.0),
+                BACKGROUND: (20000.0, 22000.0),
+            },
+            clip=(40, 10_000_000),
+            round_to=0,
+        ),
+        NumericSpec(
+            "PAYLOAD_SIZE",
+            default=(200.0, 100.0),
+            by_archetype={
+                SMB_EXPLOIT: (4200.0, 700.0),
+                TELNET_BOTNET: (900.0, 250.0),
+            },
+            clip=(0, 65535),
+            round_to=0,
+        ),
+        NumericSpec(
+            "CREDENTIALS_TRIED",
+            default=(0.0, 0.3),
+            by_archetype={
+                SSH_BRUTE: (240.0, 80.0),
+                TELNET_BOTNET: (35.0, 12.0),
+            },
+            clip=(0, 5000),
+            round_to=0,
+        ),
+        NumericSpec(
+            "SUCCESS",
+            default=(0.0, 0.0),
+            by_archetype={
+                TELNET_BOTNET: (0.35, 0.48),
+                SMB_EXPLOIT: (0.55, 0.5),
+                SSH_BRUTE: (0.05, 0.22),
+            },
+            clip=(0, 1),
+            round_to=0,
+        ),
+        CategoricalSpec(
+            "MALWARE_FAMILY",
+            default={"none": 1},
+            by_archetype={
+                TELNET_BOTNET: {"mirai": 4, "gafgyt": 2, "none": 1},
+                SMB_EXPLOIT: {"wannacry": 3, "conficker": 2, "none": 1},
+                SSH_BRUTE: {"none": 4, "xorddos": 1},
+            },
+            missing=0.02,
+        ),
+        CategoricalSpec(
+            "HONEYPOT_ID",
+            default={"hp-01": 2, "hp-02": 2, "hp-03": 1, "hp-04": 1},
+        ),
+    ]
+    return DatasetSpec(
+        name="cyber",
+        archetypes=_ARCHETYPES,
+        columns=columns,
+        default_rows=8_000,
+        target_columns=["ATTACK_TYPE"],
+        pattern_columns=[
+            "ATTACK_TYPE", "DST_PORT", "SERVICE", "CREDENTIALS_TRIED",
+            "MALWARE_FAMILY", "COUNTRY", "PACKETS", "SUCCESS",
+        ],
+        description="Honeynet attack logs (paper CY, 30K x 15)",
+    )

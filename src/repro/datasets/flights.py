@@ -1,0 +1,283 @@
+"""FL — synthetic stand-in for the Kaggle US flight-delays dataset.
+
+The real dataset has ~6M rows and 31 columns; the paper's introduction and
+Figure 1 revolve around it (target column CANCELLED, delay columns that are
+NaN unless a delay occurred, departure fields missing for cancelled
+flights).  The archetypes below plant the very rules the paper uses as
+examples: long flights are rarely cancelled; short afternoon flights from
+the cancellation-prone profile are likely cancelled; late-aircraft and
+weather profiles populate their respective delay columns.
+
+Default scale is 20K rows (6M in the paper); pass ``n_rows`` to rescale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import (
+    CategoricalSpec,
+    DatasetSpec,
+    DerivedSpec,
+    NumericSpec,
+)
+
+# Archetype shorthand used throughout the spec.
+LONG_OK = "longhaul_ok"
+MEDIUM_OK = "medium_ok"
+SHORT_CANCELLED = "short_cancelled"
+LATE_AIRCRAFT = "late_aircraft_delay"
+WEATHER = "weather_delay"
+REDEYE = "redeye_ok"
+# Background rows: ordinary flights with weakly-coupled attributes.  Real
+# tables are not pure pattern mixtures — a large share of rows follows no
+# prominent rule, which is what makes randomly-sampled rows uninformative.
+BACKGROUND = "background"
+
+_ARCHETYPES = {
+    LONG_OK: 0.20,
+    MEDIUM_OK: 0.18,
+    SHORT_CANCELLED: 0.09,
+    LATE_AIRCRAFT: 0.10,
+    WEATHER: 0.05,
+    REDEYE: 0.08,
+    BACKGROUND: 0.30,
+}
+
+_CANCELLED_MISSING = {SHORT_CANCELLED: 0.97}
+
+
+def _air_time(values, rng):
+    """AIR_TIME ~ DISTANCE / cruise speed, missing where DEPARTURE_TIME is."""
+    distance = values["DISTANCE"]
+    base = distance / 7.5 + rng.normal(0.0, 6.0, size=len(distance))
+    departure = values["DEPARTURE_TIME"]
+    base = np.where(np.isnan(departure), np.nan, base)
+    return np.maximum(base, 15.0)
+
+
+def _elapsed_time(values, rng):
+    air_time = values["AIR_TIME"]
+    return air_time + np.abs(rng.normal(25.0, 8.0, size=len(air_time)))
+
+
+def _wheels_off(values, rng):
+    departure = values["DEPARTURE_TIME"]
+    return departure + np.abs(rng.normal(12.0, 4.0, size=len(departure)))
+
+
+def _wheels_on(values, rng):
+    wheels_off = values["WHEELS_OFF"]
+    air_time = values["AIR_TIME"]
+    return wheels_off + air_time
+
+
+def build_flights_spec() -> DatasetSpec:
+    """The FL dataset specification."""
+    columns = [
+        NumericSpec("YEAR", default=(2015.0, 0.0), round_to=0),
+        NumericSpec("MONTH", default=(6.5, 3.4), clip=(1, 12), round_to=0),
+        NumericSpec("DAY", default=(15.5, 8.6), clip=(1, 31), round_to=0),
+        NumericSpec("DAY_OF_WEEK", default=(4.0, 2.0), clip=(1, 7), round_to=0),
+        CategoricalSpec(
+            "AIRLINE",
+            default={"AA": 2, "DL": 2, "UA": 2, "WN": 3, "B6": 1, "AS": 1, "NK": 1},
+            by_archetype={
+                LONG_OK: {"AA": 3, "DL": 3, "UA": 3, "AS": 1},
+                SHORT_CANCELLED: {"WN": 3, "B6": 2, "NK": 2, "MQ": 3},
+                REDEYE: {"AS": 3, "UA": 2, "DL": 1},
+            },
+        ),
+        NumericSpec("FLIGHT_NUMBER", default=(2500.0, 1400.0), clip=(1, 7000), round_to=0),
+        CategoricalSpec(
+            "ORIGIN_AIRPORT",
+            default={"ATL": 3, "ORD": 2, "DFW": 2, "LAX": 2, "DEN": 1, "PHX": 1},
+            by_archetype={
+                LONG_OK: {"LAX": 3, "JFK": 3, "SFO": 2},
+                SHORT_CANCELLED: {"ORD": 3, "LGA": 3, "BOS": 2},
+                WEATHER: {"ORD": 3, "DEN": 3, "MSP": 2},
+                REDEYE: {"LAX": 3, "SEA": 2, "SFO": 2},
+            },
+        ),
+        CategoricalSpec(
+            "DESTINATION_AIRPORT",
+            default={"ATL": 2, "ORD": 2, "DFW": 2, "LAX": 2, "SEA": 1, "MIA": 1},
+            by_archetype={
+                LONG_OK: {"JFK": 3, "HNL": 1, "BOS": 2, "MIA": 2},
+                SHORT_CANCELLED: {"DCA": 3, "PHL": 2, "PIT": 2},
+                REDEYE: {"JFK": 3, "EWR": 2, "ORD": 2},
+            },
+        ),
+        NumericSpec(
+            "SCHEDULED_DEPARTURE",
+            default=(1300.0, 300.0),
+            by_archetype={
+                SHORT_CANCELLED: (1540.0, 90.0),   # afternoon, per Example 1.2
+                REDEYE: (2330.0, 40.0),
+                WEATHER: (900.0, 150.0),
+                BACKGROUND: (1300.0, 430.0),
+            },
+            clip=(1, 2359),
+            round_to=0,
+        ),
+        NumericSpec(
+            "DEPARTURE_TIME",
+            default=(1310.0, 300.0),
+            by_archetype={
+                SHORT_CANCELLED: (1550.0, 90.0),
+                REDEYE: (2335.0, 40.0),
+                LATE_AIRCRAFT: (1500.0, 250.0),
+                WEATHER: (1000.0, 160.0),
+                BACKGROUND: (1310.0, 430.0),
+            },
+            missing=_CANCELLED_MISSING,
+            clip=(1, 2359),
+            round_to=0,
+        ),
+        NumericSpec(
+            "DEPARTURE_DELAY",
+            default=(-4.0, 5.0),
+            by_archetype={
+                LATE_AIRCRAFT: (55.0, 20.0),
+                WEATHER: (75.0, 30.0),
+                SHORT_CANCELLED: (0.0, 1.0),
+                BACKGROUND: (4.0, 22.0),
+            },
+            missing=_CANCELLED_MISSING,
+            round_to=1,
+        ),
+        NumericSpec(
+            "DISTANCE",
+            default=(900.0, 160.0),
+            by_archetype={
+                LONG_OK: (2100.0, 330.0),
+                SHORT_CANCELLED: (320.0, 90.0),
+                REDEYE: (2450.0, 260.0),
+                WEATHER: (700.0, 150.0),
+                BACKGROUND: (1100.0, 750.0),
+            },
+            clip=(60, 4500),
+            round_to=0,
+        ),
+        DerivedSpec("AIR_TIME", fn=_air_time),
+        DerivedSpec("ELAPSED_TIME", fn=_elapsed_time),
+        NumericSpec(
+            "SCHEDULED_TIME",
+            default=(140.0, 30.0),
+            by_archetype={
+                LONG_OK: (290.0, 40.0),
+                SHORT_CANCELLED: (70.0, 15.0),
+                REDEYE: (320.0, 35.0),
+                BACKGROUND: (170.0, 90.0),
+            },
+            clip=(25, 700),
+            round_to=0,
+        ),
+        DerivedSpec("WHEELS_OFF", fn=_wheels_off),
+        DerivedSpec("WHEELS_ON", fn=_wheels_on),
+        NumericSpec(
+            "SCHEDULED_ARRIVAL",
+            default=(1600.0, 320.0),
+            by_archetype={
+                SHORT_CANCELLED: (1700.0, 90.0),   # afternoon arrivals
+                REDEYE: (700.0, 60.0),
+                BACKGROUND: (1500.0, 470.0),
+            },
+            clip=(1, 2359),
+            round_to=0,
+        ),
+        NumericSpec(
+            "ARRIVAL_DELAY",
+            default=(-5.0, 9.0),
+            by_archetype={
+                LATE_AIRCRAFT: (58.0, 22.0),
+                WEATHER: (85.0, 35.0),
+                BACKGROUND: (0.0, 28.0),
+            },
+            missing=_CANCELLED_MISSING,
+            round_to=1,
+        ),
+        NumericSpec(
+            "CANCELLED",
+            default=(0.0, 0.0),
+            by_archetype={SHORT_CANCELLED: (1.0, 0.0)},
+            round_to=0,
+        ),
+        NumericSpec(
+            "DIVERTED",
+            default=(0.0, 0.0),
+            by_archetype={WEATHER: (0.08, 0.27)},
+            clip=(0, 1),
+            round_to=0,
+        ),
+        # Delay-cause columns: NaN unless that cause applies (the paper's
+        # motivating example shows exactly these all-NaN tails).
+        NumericSpec(
+            "AIR_SYSTEM_DELAY",
+            default=(15.0, 8.0),
+            missing={
+                LONG_OK: 1.0, MEDIUM_OK: 1.0, SHORT_CANCELLED: 1.0,
+                REDEYE: 1.0, WEATHER: 0.6, LATE_AIRCRAFT: 0.5,
+                BACKGROUND: 0.93,
+            },
+            clip=(0, 300),
+            round_to=0,
+        ),
+        NumericSpec(
+            "SECURITY_DELAY",
+            default=(5.0, 4.0),
+            missing={
+                LONG_OK: 1.0, MEDIUM_OK: 1.0, SHORT_CANCELLED: 1.0,
+                REDEYE: 1.0, WEATHER: 0.97, LATE_AIRCRAFT: 0.97,
+                BACKGROUND: 0.98,
+            },
+            clip=(0, 120),
+            round_to=0,
+        ),
+        NumericSpec(
+            "AIRLINE_DELAY",
+            default=(25.0, 14.0),
+            missing={
+                LONG_OK: 1.0, MEDIUM_OK: 1.0, SHORT_CANCELLED: 1.0,
+                REDEYE: 1.0, WEATHER: 0.8, LATE_AIRCRAFT: 0.4,
+                BACKGROUND: 0.9,
+            },
+            clip=(0, 400),
+            round_to=0,
+        ),
+        NumericSpec(
+            "LATE_AIRCRAFT_DELAY",
+            default=(45.0, 18.0),
+            missing={
+                LONG_OK: 1.0, MEDIUM_OK: 1.0, SHORT_CANCELLED: 1.0,
+                REDEYE: 1.0, WEATHER: 0.9, LATE_AIRCRAFT: 0.05,
+                BACKGROUND: 0.95,
+            },
+            clip=(0, 500),
+            round_to=0,
+        ),
+        NumericSpec(
+            "WEATHER_DELAY",
+            default=(60.0, 25.0),
+            missing={
+                LONG_OK: 1.0, MEDIUM_OK: 1.0, SHORT_CANCELLED: 1.0,
+                REDEYE: 1.0, WEATHER: 0.05, LATE_AIRCRAFT: 0.9,
+                BACKGROUND: 0.97,
+            },
+            clip=(0, 600),
+            round_to=0,
+        ),
+    ]
+    return DatasetSpec(
+        name="flights",
+        archetypes=_ARCHETYPES,
+        columns=columns,
+        default_rows=20_000,
+        target_columns=["CANCELLED"],
+        pattern_columns=[
+            "CANCELLED", "DISTANCE", "AIR_TIME", "SCHEDULED_DEPARTURE",
+            "SCHEDULED_ARRIVAL", "AIRLINE", "DEPARTURE_DELAY",
+            "LATE_AIRCRAFT_DELAY", "WEATHER_DELAY",
+        ],
+        description="US flight delays and cancellations (paper FL, 6M x 31)",
+    )

@@ -1,0 +1,265 @@
+"""USF — synthetic stand-in for the Kaggle US mutual funds dataset.
+
+The real table is 23.5K rows x 298 columns; its role in the paper is the
+*wide-table* stress case for column selection.  We scale the width to 50
+columns while keeping the structure: a few categorical descriptors, many
+numeric return/ratio/allocation columns in correlated families, and large
+blocks that are only populated for some fund types.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import CategoricalSpec, DatasetSpec, NumericSpec
+
+EQUITY_GROWTH = "equity_growth"
+BOND_STABLE = "bond_stable"
+INDEX_CHEAP = "index_cheap"
+EMERGING_VOLATILE = "emerging_volatile"
+
+_ARCHETYPES = {
+    EQUITY_GROWTH: 0.35,
+    BOND_STABLE: 0.25,
+    INDEX_CHEAP: 0.25,
+    EMERGING_VOLATILE: 0.15,
+}
+
+
+def _return_column(name: str, scale: float) -> NumericSpec:
+    """An annual-return column whose level tracks the fund profile."""
+    return NumericSpec(
+        name,
+        default=(6.0 * scale, 4.0),
+        by_archetype={
+            EQUITY_GROWTH: (11.0 * scale, 6.0),
+            BOND_STABLE: (3.0 * scale, 1.5),
+            INDEX_CHEAP: (8.0 * scale, 3.0),
+            EMERGING_VOLATILE: (7.0 * scale, 12.0),
+        },
+        round_to=2,
+    )
+
+
+def build_funds_spec() -> DatasetSpec:
+    """The USF dataset specification (wide: 50 columns)."""
+    columns = [
+        CategoricalSpec(
+            "FUND_TYPE",
+            default={"equity": 1},
+            by_archetype={
+                EQUITY_GROWTH: {"equity": 1},
+                BOND_STABLE: {"bond": 1},
+                INDEX_CHEAP: {"index": 3, "equity": 1},
+                EMERGING_VOLATILE: {"emerging": 1},
+            },
+        ),
+        CategoricalSpec(
+            "CATEGORY",
+            default={"large-blend": 1},
+            by_archetype={
+                EQUITY_GROWTH: {"large-growth": 3, "mid-growth": 2, "small-growth": 1},
+                BOND_STABLE: {"corporate-bond": 3, "government-bond": 2, "muni-bond": 1},
+                INDEX_CHEAP: {"large-blend": 4, "total-market": 2},
+                EMERGING_VOLATILE: {"emerging-markets": 4, "frontier": 1},
+            },
+        ),
+        CategoricalSpec(
+            "RATING",
+            default={"3": 2, "4": 1},
+            by_archetype={
+                EQUITY_GROWTH: {"4": 3, "5": 2, "3": 1},
+                BOND_STABLE: {"3": 3, "4": 2},
+                INDEX_CHEAP: {"4": 3, "5": 3},
+                EMERGING_VOLATILE: {"2": 3, "3": 2, "1": 1},
+            },
+        ),
+        CategoricalSpec(
+            "SIZE",
+            default={"medium": 2, "large": 1, "small": 1},
+            by_archetype={
+                INDEX_CHEAP: {"large": 4, "medium": 1},
+                EMERGING_VOLATILE: {"small": 3, "medium": 1},
+            },
+        ),
+        NumericSpec(
+            "EXPENSE_RATIO",
+            default=(0.8, 0.3),
+            by_archetype={
+                INDEX_CHEAP: (0.08, 0.04),
+                EMERGING_VOLATILE: (1.5, 0.4),
+                EQUITY_GROWTH: (0.95, 0.25),
+            },
+            clip=(0.01, 3.0),
+            round_to=2,
+        ),
+        NumericSpec(
+            "NET_ASSETS_M",
+            default=(900.0, 600.0),
+            by_archetype={
+                INDEX_CHEAP: (15000.0, 8000.0),
+                EMERGING_VOLATILE: (250.0, 150.0),
+            },
+            clip=(1, 100000),
+            round_to=0,
+        ),
+        NumericSpec(
+            "YIELD",
+            default=(1.8, 0.8),
+            by_archetype={
+                BOND_STABLE: (3.8, 0.9),
+                EQUITY_GROWTH: (0.6, 0.4),
+            },
+            clip=(0, 12),
+            round_to=2,
+        ),
+        NumericSpec(
+            "TURNOVER",
+            default=(45.0, 20.0),
+            by_archetype={
+                INDEX_CHEAP: (5.0, 3.0),
+                EMERGING_VOLATILE: (90.0, 30.0),
+            },
+            clip=(0, 400),
+            round_to=0,
+        ),
+        NumericSpec(
+            "BETA",
+            default=(1.0, 0.15),
+            by_archetype={
+                BOND_STABLE: (0.25, 0.1),
+                EMERGING_VOLATILE: (1.4, 0.25),
+            },
+            round_to=2,
+        ),
+        NumericSpec(
+            "SHARPE_3Y",
+            default=(0.8, 0.3),
+            by_archetype={
+                INDEX_CHEAP: (1.1, 0.2),
+                EMERGING_VOLATILE: (0.2, 0.4),
+            },
+            round_to=2,
+        ),
+    ]
+    # Correlated return families across horizons.
+    for horizon, scale in [("1M", 0.1), ("3M", 0.3), ("6M", 0.55), ("1Y", 1.0),
+                           ("3Y", 0.9), ("5Y", 0.85), ("10Y", 0.8)]:
+        columns.append(_return_column(f"RETURN_{horizon}", scale))
+
+    # Asset-allocation block: bonds hold bonds, equity holds stocks.
+    columns.extend([
+        NumericSpec(
+            "ALLOC_STOCKS",
+            default=(60.0, 10.0),
+            by_archetype={
+                EQUITY_GROWTH: (92.0, 5.0),
+                BOND_STABLE: (3.0, 2.0),
+                INDEX_CHEAP: (98.0, 1.5),
+                EMERGING_VOLATILE: (85.0, 8.0),
+            },
+            clip=(0, 100),
+            round_to=1,
+        ),
+        NumericSpec(
+            "ALLOC_BONDS",
+            default=(30.0, 10.0),
+            by_archetype={
+                EQUITY_GROWTH: (2.0, 2.0),
+                BOND_STABLE: (93.0, 4.0),
+                INDEX_CHEAP: (0.5, 0.5),
+                EMERGING_VOLATILE: (5.0, 4.0),
+            },
+            clip=(0, 100),
+            round_to=1,
+        ),
+        NumericSpec("ALLOC_CASH", default=(4.0, 2.5), clip=(0, 100), round_to=1),
+    ])
+    # Sector weights (equity-style funds only; NaN for bond funds).
+    bond_missing = {BOND_STABLE: 0.95}
+    for sector in ["TECH", "HEALTH", "FINANCE", "ENERGY", "CONSUMER",
+                   "INDUSTRIALS", "UTILITIES", "MATERIALS", "REALESTATE", "TELECOM"]:
+        columns.append(
+            NumericSpec(
+                f"SECTOR_{sector}",
+                default=(10.0, 4.0),
+                by_archetype={
+                    EQUITY_GROWTH: (14.0, 6.0) if sector == "TECH" else (9.0, 4.0),
+                },
+                missing=bond_missing,
+                clip=(0, 80),
+                round_to=1,
+            )
+        )
+    # Bond-quality ladder (bond funds only; NaN for the rest).
+    equity_missing = {
+        EQUITY_GROWTH: 0.95, INDEX_CHEAP: 0.95, EMERGING_VOLATILE: 0.9,
+    }
+    for grade in ["AAA", "AA", "A", "BBB", "BB", "B", "BELOW_B"]:
+        columns.append(
+            NumericSpec(
+                f"BOND_{grade}",
+                default=(14.0, 6.0),
+                missing=equity_missing,
+                clip=(0, 100),
+                round_to=1,
+            )
+        )
+    # ESG and risk scores round out the width.
+    for name, default, volatile in [
+        ("ESG_SCORE", (22.0, 4.0), (28.0, 5.0)),
+        ("ESG_ENV", (6.0, 2.0), (9.0, 2.5)),
+        ("ESG_SOCIAL", (9.0, 2.0), (11.0, 2.5)),
+        ("ESG_GOV", (7.0, 1.5), (8.0, 2.0)),
+        ("RISK_SCORE", (3.0, 0.8), (4.6, 0.4)),
+    ]:
+        columns.append(
+            NumericSpec(
+                name,
+                default=default,
+                by_archetype={EMERGING_VOLATILE: volatile},
+                round_to=1,
+            )
+        )
+    # Fill remaining width with fee and operational metrics.
+    columns.extend([
+        NumericSpec("FRONT_LOAD", default=(0.5, 0.8), clip=(0, 6), round_to=2,
+                    missing=0.4),
+        NumericSpec("DEFERRED_LOAD", default=(0.3, 0.6), clip=(0, 5), round_to=2,
+                    missing=0.6),
+        NumericSpec("12B1_FEE", default=(0.2, 0.2), clip=(0, 1), round_to=2,
+                    missing=0.3),
+        NumericSpec("MIN_INVESTMENT", default=(2500.0, 2000.0), clip=(0, 1_000_000),
+                    round_to=0),
+        NumericSpec("MANAGER_TENURE", default=(7.0, 4.0), clip=(0, 40), round_to=1),
+        NumericSpec(
+            "FUND_AGE",
+            default=(15.0, 8.0),
+            by_archetype={EMERGING_VOLATILE: (6.0, 3.0)},
+            clip=(0, 90),
+            round_to=0,
+        ),
+        NumericSpec("HOLDINGS_COUNT", default=(120.0, 80.0),
+                    by_archetype={INDEX_CHEAP: (1500.0, 800.0)},
+                    clip=(10, 10000), round_to=0),
+        NumericSpec(
+            "MEDIAN_MARKET_CAP_B",
+            default=(40.0, 25.0),
+            by_archetype={
+                EMERGING_VOLATILE: (8.0, 5.0),
+                BOND_STABLE: (0.0, 0.0),
+            },
+            clip=(0, 600),
+            round_to=1,
+        ),
+    ])
+    return DatasetSpec(
+        name="funds",
+        archetypes=_ARCHETYPES,
+        columns=columns,
+        default_rows=5_000,
+        target_columns=["RATING"],
+        pattern_columns=[
+            "FUND_TYPE", "CATEGORY", "RATING", "EXPENSE_RATIO",
+            "RETURN_1Y", "ALLOC_STOCKS", "ALLOC_BONDS", "BETA",
+        ],
+        description="US mutual funds, wide table (paper USF, 23.5K x 298; width scaled to 50)",
+    )

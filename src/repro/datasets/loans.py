@@ -1,0 +1,222 @@
+"""BL — synthetic stand-in for the Kaggle bank-loan status dataset.
+
+The BL dataset (110K rows x 19 columns) is the user-study dataset displayed
+*without* rule coloring, testing whether SubTab's advantage survives plain
+display.  Archetypes encode canonical credit profiles whose feature bundles
+imply the LOAN_STATUS outcome.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import CategoricalSpec, DatasetSpec, NumericSpec
+
+PRIME_PAID = "prime_paid"
+SUBPRIME_DEFAULT = "subprime_default"
+HIGH_DEBT_CHARGEOFF = "highdebt_chargedoff"
+SHORT_TERM_PAID = "shortterm_paid"
+
+_ARCHETYPES = {
+    PRIME_PAID: 0.42,
+    SUBPRIME_DEFAULT: 0.20,
+    HIGH_DEBT_CHARGEOFF: 0.14,
+    SHORT_TERM_PAID: 0.24,
+}
+
+
+def build_loans_spec() -> DatasetSpec:
+    """The BL dataset specification."""
+    columns = [
+        CategoricalSpec(
+            "LOAN_STATUS",
+            default={"Fully Paid": 1},
+            by_archetype={
+                PRIME_PAID: {"Fully Paid": 9, "Charged Off": 1},
+                SUBPRIME_DEFAULT: {"Charged Off": 7, "Fully Paid": 3},
+                HIGH_DEBT_CHARGEOFF: {"Charged Off": 8, "Fully Paid": 2},
+                SHORT_TERM_PAID: {"Fully Paid": 9, "Charged Off": 1},
+            },
+        ),
+        NumericSpec(
+            "CURRENT_LOAN_AMOUNT",
+            default=(300000.0, 120000.0),
+            by_archetype={
+                SHORT_TERM_PAID: (120000.0, 50000.0),
+                HIGH_DEBT_CHARGEOFF: (520000.0, 150000.0),
+            },
+            clip=(10000, 1000000),
+            round_to=0,
+        ),
+        CategoricalSpec(
+            "TERM",
+            default={"Short Term": 1, "Long Term": 1},
+            by_archetype={
+                SHORT_TERM_PAID: {"Short Term": 9, "Long Term": 1},
+                HIGH_DEBT_CHARGEOFF: {"Long Term": 8, "Short Term": 2},
+                PRIME_PAID: {"Short Term": 5, "Long Term": 5},
+                SUBPRIME_DEFAULT: {"Long Term": 6, "Short Term": 4},
+            },
+        ),
+        NumericSpec(
+            "CREDIT_SCORE",
+            default=(700.0, 30.0),
+            by_archetype={
+                PRIME_PAID: (740.0, 20.0),
+                SUBPRIME_DEFAULT: (620.0, 25.0),
+                HIGH_DEBT_CHARGEOFF: (660.0, 30.0),
+                SHORT_TERM_PAID: (720.0, 25.0),
+            },
+            missing=0.08,
+            clip=(300, 850),
+            round_to=0,
+        ),
+        NumericSpec(
+            "ANNUAL_INCOME",
+            default=(1200000.0, 350000.0),
+            by_archetype={
+                PRIME_PAID: (1700000.0, 450000.0),
+                SUBPRIME_DEFAULT: (750000.0, 200000.0),
+            },
+            missing=0.1,
+            clip=(100000, 9000000),
+            round_to=0,
+        ),
+        CategoricalSpec(
+            "YEARS_IN_JOB",
+            default={"10+ years": 3, "2 years": 1, "3 years": 1, "< 1 year": 1,
+                     "5 years": 1, "1 year": 1},
+            by_archetype={
+                PRIME_PAID: {"10+ years": 5, "5 years": 2, "3 years": 1},
+                SUBPRIME_DEFAULT: {"< 1 year": 3, "1 year": 2, "2 years": 2,
+                                   "10+ years": 1},
+            },
+        ),
+        CategoricalSpec(
+            "HOME_OWNERSHIP",
+            default={"Home Mortgage": 2, "Rent": 2, "Own Home": 1},
+            by_archetype={
+                PRIME_PAID: {"Home Mortgage": 3, "Own Home": 2, "Rent": 1},
+                SUBPRIME_DEFAULT: {"Rent": 4, "Home Mortgage": 1},
+            },
+        ),
+        CategoricalSpec(
+            "PURPOSE",
+            default={"Debt Consolidation": 4, "Home Improvements": 1, "Other": 1},
+            by_archetype={
+                HIGH_DEBT_CHARGEOFF: {"Debt Consolidation": 8, "Other": 1},
+                SHORT_TERM_PAID: {"Home Improvements": 2, "Buy a Car": 2,
+                                  "Debt Consolidation": 2, "Medical Bills": 1},
+            },
+        ),
+        NumericSpec(
+            "MONTHLY_DEBT",
+            default=(18000.0, 7000.0),
+            by_archetype={
+                HIGH_DEBT_CHARGEOFF: (42000.0, 10000.0),
+                PRIME_PAID: (14000.0, 5000.0),
+            },
+            clip=(0, 120000),
+            round_to=2,
+        ),
+        NumericSpec(
+            "YEARS_OF_CREDIT_HISTORY",
+            default=(18.0, 6.0),
+            by_archetype={
+                PRIME_PAID: (24.0, 6.0),
+                SUBPRIME_DEFAULT: (11.0, 4.0),
+            },
+            clip=(2, 60),
+            round_to=1,
+        ),
+        NumericSpec(
+            "MONTHS_SINCE_LAST_DELINQUENT",
+            default=(35.0, 20.0),
+            by_archetype={SUBPRIME_DEFAULT: (10.0, 6.0)},
+            missing={PRIME_PAID: 0.7, SHORT_TERM_PAID: 0.6,
+                     SUBPRIME_DEFAULT: 0.1, HIGH_DEBT_CHARGEOFF: 0.3},
+            clip=(0, 180),
+            round_to=0,
+        ),
+        NumericSpec(
+            "NUMBER_OF_OPEN_ACCOUNTS",
+            default=(11.0, 4.0),
+            by_archetype={HIGH_DEBT_CHARGEOFF: (17.0, 5.0)},
+            clip=(1, 50),
+            round_to=0,
+        ),
+        NumericSpec(
+            "NUMBER_OF_CREDIT_PROBLEMS",
+            default=(0.1, 0.3),
+            by_archetype={
+                SUBPRIME_DEFAULT: (1.4, 0.9),
+                HIGH_DEBT_CHARGEOFF: (0.6, 0.7),
+            },
+            clip=(0, 12),
+            round_to=0,
+        ),
+        NumericSpec(
+            "CURRENT_CREDIT_BALANCE",
+            default=(290000.0, 120000.0),
+            by_archetype={HIGH_DEBT_CHARGEOFF: (620000.0, 180000.0)},
+            clip=(0, 3000000),
+            round_to=0,
+        ),
+        NumericSpec(
+            "MAXIMUM_OPEN_CREDIT",
+            default=(700000.0, 250000.0),
+            by_archetype={
+                PRIME_PAID: (950000.0, 280000.0),
+                SUBPRIME_DEFAULT: (380000.0, 140000.0),
+            },
+            clip=(0, 8000000),
+            round_to=0,
+        ),
+        NumericSpec(
+            "BANKRUPTCIES",
+            default=(0.05, 0.22),
+            by_archetype={SUBPRIME_DEFAULT: (0.5, 0.6)},
+            missing=0.02,
+            clip=(0, 6),
+            round_to=0,
+        ),
+        NumericSpec(
+            "TAX_LIENS",
+            default=(0.02, 0.15),
+            by_archetype={SUBPRIME_DEFAULT: (0.25, 0.5)},
+            clip=(0, 8),
+            round_to=0,
+        ),
+        NumericSpec(
+            "INTEREST_RATE",
+            default=(11.0, 2.5),
+            by_archetype={
+                PRIME_PAID: (7.5, 1.5),
+                SUBPRIME_DEFAULT: (17.5, 2.5),
+                HIGH_DEBT_CHARGEOFF: (15.0, 2.0),
+                SHORT_TERM_PAID: (9.0, 1.5),
+            },
+            clip=(3, 31),
+            round_to=2,
+        ),
+        NumericSpec(
+            "DEBT_TO_INCOME",
+            default=(18.0, 6.0),
+            by_archetype={
+                HIGH_DEBT_CHARGEOFF: (38.0, 7.0),
+                PRIME_PAID: (12.0, 4.0),
+            },
+            clip=(0, 80),
+            round_to=1,
+        ),
+    ]
+    return DatasetSpec(
+        name="loans",
+        archetypes=_ARCHETYPES,
+        columns=columns,
+        default_rows=9_000,
+        target_columns=["LOAN_STATUS"],
+        pattern_columns=[
+            "LOAN_STATUS", "CREDIT_SCORE", "TERM", "MONTHLY_DEBT",
+            "DEBT_TO_INCOME", "INTEREST_RATE", "PURPOSE",
+        ],
+        description="Bank loan status (paper BL, 110K x 19)",
+    )

@@ -1,0 +1,60 @@
+"""Dataset registry: the paper's six datasets by name or paper alias."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.datasets.credit import build_credit_spec
+from repro.datasets.cyber import build_cyber_spec
+from repro.datasets.flights import build_flights_spec
+from repro.datasets.funds import build_funds_spec
+from repro.datasets.generator import SyntheticDataset, generate_dataset
+from repro.datasets.loans import build_loans_spec
+from repro.datasets.schema import DatasetSpec
+from repro.datasets.spotify import build_spotify_spec
+
+_BUILDERS: dict[str, Callable[[], DatasetSpec]] = {
+    "flights": build_flights_spec,
+    "cyber": build_cyber_spec,
+    "spotify": build_spotify_spec,
+    "credit": build_credit_spec,
+    "funds": build_funds_spec,
+    "loans": build_loans_spec,
+}
+
+# Paper aliases (Section 6.1).
+_ALIASES = {
+    "fl": "flights",
+    "cy": "cyber",
+    "sp": "spotify",
+    "cc": "credit",
+    "usf": "funds",
+    "bl": "loans",
+}
+
+
+def dataset_names() -> list[str]:
+    """Canonical dataset names."""
+    return sorted(_BUILDERS.keys())
+
+
+def resolve_name(name: str) -> str:
+    """Map a name or paper alias (FL, CY, ...) to the canonical name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    return key
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The :class:`DatasetSpec` for ``name`` (accepts aliases)."""
+    return _BUILDERS[resolve_name(name)]()
+
+
+def make_dataset(name: str, n_rows: Optional[int] = None, seed=None) -> SyntheticDataset:
+    """Generate the named dataset at ``n_rows`` scale (default per spec)."""
+    return generate_dataset(dataset_spec(name), n_rows=n_rows, seed=seed)

@@ -1,0 +1,218 @@
+"""SP — synthetic stand-in for the Kaggle Spotify tracks dataset.
+
+The paper's SP dataset (42K rows x 15 columns) carries the user-study task
+"what makes songs popular".  Archetypes are musical profiles whose audio
+features co-vary (danceable energetic pop is popular; ambient instrumental
+is not), planting rules that relate audio features to POPULARITY.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import CategoricalSpec, DatasetSpec, NumericSpec
+
+DANCE_POP = "dance_pop_hit"
+RAP_HIT = "rap_hit"
+ACOUSTIC = "acoustic_indie"
+AMBIENT = "instrumental_ambient"
+ROCK = "rock_classic"
+# Rows with weakly-coupled attributes: most catalog tracks follow no
+# prominent pattern, which keeps randomly-drawn rows uninformative.
+BACKGROUND = "background"
+
+_ARCHETYPES = {
+    DANCE_POP: 0.18,
+    RAP_HIT: 0.13,
+    ACOUSTIC: 0.15,
+    AMBIENT: 0.09,
+    ROCK: 0.15,
+    BACKGROUND: 0.30,
+}
+
+
+def build_spotify_spec() -> DatasetSpec:
+    """The SP dataset specification."""
+    columns = [
+        CategoricalSpec(
+            "GENRE",
+            default={"pop": 1},
+            by_archetype={
+                DANCE_POP: {"pop": 4, "dance": 3, "edm": 2},
+                RAP_HIT: {"hip-hop": 4, "rap": 3, "trap": 1},
+                ACOUSTIC: {"indie": 3, "folk": 3, "singer-songwriter": 2},
+                AMBIENT: {"ambient": 4, "classical": 2, "new-age": 1},
+                ROCK: {"rock": 4, "classic rock": 2, "metal": 1},
+                BACKGROUND: {"pop": 1, "rock": 1, "indie": 1, "hip-hop": 1,
+                             "dance": 1, "folk": 1, "alt": 1},
+            },
+        ),
+        CategoricalSpec(
+            "ARTIST_TIER",
+            default={"unknown": 1},
+            by_archetype={
+                DANCE_POP: {"superstar": 3, "established": 3, "rising": 1},
+                RAP_HIT: {"superstar": 2, "established": 3, "rising": 2},
+                ACOUSTIC: {"rising": 3, "niche": 3, "established": 1},
+                AMBIENT: {"niche": 5, "rising": 1},
+                ROCK: {"established": 3, "legacy": 3, "niche": 1},
+                BACKGROUND: {"unknown": 2, "rising": 2, "niche": 2,
+                             "established": 1},
+            },
+        ),
+        NumericSpec(
+            "DANCEABILITY",
+            default=(0.55, 0.1),
+            by_archetype={
+                BACKGROUND: (0.55, 0.20),
+
+                DANCE_POP: (0.82, 0.07),
+                RAP_HIT: (0.78, 0.08),
+                ACOUSTIC: (0.45, 0.08),
+                AMBIENT: (0.25, 0.08),
+                ROCK: (0.50, 0.09),
+            },
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "ENERGY",
+            default=(0.6, 0.12),
+            by_archetype={
+                BACKGROUND: (0.58, 0.24),
+
+                DANCE_POP: (0.85, 0.07),
+                RAP_HIT: (0.72, 0.1),
+                ACOUSTIC: (0.35, 0.1),
+                AMBIENT: (0.12, 0.06),
+                ROCK: (0.80, 0.1),
+            },
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "LOUDNESS",
+            default=(-8.0, 2.5),
+            by_archetype={
+                BACKGROUND: (-9.0, 5.0),
+
+                DANCE_POP: (-4.5, 1.2),
+                RAP_HIT: (-5.5, 1.5),
+                ACOUSTIC: (-11.0, 2.5),
+                AMBIENT: (-20.0, 4.0),
+                ROCK: (-6.0, 1.8),
+            },
+            clip=(-60, 0),
+            round_to=2,
+        ),
+        NumericSpec(
+            "SPEECHINESS",
+            default=(0.06, 0.03),
+            by_archetype={RAP_HIT: (0.28, 0.08), BACKGROUND: (0.09, 0.07)},
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "ACOUSTICNESS",
+            default=(0.25, 0.12),
+            by_archetype={
+                BACKGROUND: (0.35, 0.28),
+
+                ACOUSTIC: (0.82, 0.1),
+                AMBIENT: (0.88, 0.08),
+                DANCE_POP: (0.08, 0.05),
+                ROCK: (0.10, 0.07),
+            },
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "INSTRUMENTALNESS",
+            default=(0.02, 0.02),
+            by_archetype={AMBIENT: (0.85, 0.1), ROCK: (0.10, 0.12),
+                          BACKGROUND: (0.10, 0.18)},
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "LIVENESS",
+            default=(0.15, 0.08),
+            by_archetype={ROCK: (0.30, 0.15)},
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "VALENCE",
+            default=(0.5, 0.15),
+            by_archetype={
+                BACKGROUND: (0.5, 0.25),
+
+                DANCE_POP: (0.70, 0.12),
+                AMBIENT: (0.20, 0.1),
+                ACOUSTIC: (0.42, 0.15),
+            },
+            clip=(0, 1),
+            round_to=3,
+        ),
+        NumericSpec(
+            "TEMPO",
+            default=(118.0, 20.0),
+            by_archetype={
+                BACKGROUND: (118.0, 30.0),
+
+                DANCE_POP: (124.0, 8.0),
+                RAP_HIT: (95.0, 15.0),
+                AMBIENT: (75.0, 15.0),
+                ROCK: (135.0, 18.0),
+            },
+            clip=(40, 220),
+            round_to=1,
+        ),
+        NumericSpec(
+            "DURATION_MS",
+            default=(215000.0, 35000.0),
+            by_archetype={
+                AMBIENT: (330000.0, 80000.0),
+                ROCK: (260000.0, 60000.0),
+                DANCE_POP: (200000.0, 28000.0),
+                RAP_HIT: (185000.0, 30000.0),
+                ACOUSTIC: (232000.0, 42000.0),
+                BACKGROUND: (215000.0, 65000.0),
+            },
+            clip=(45000, 1200000),
+            round_to=0,
+        ),
+        NumericSpec("KEY", default=(5.5, 3.4), clip=(0, 11), round_to=0),
+        NumericSpec(
+            "MODE",
+            default=(0.6, 0.49),
+            by_archetype={AMBIENT: (0.5, 0.5), RAP_HIT: (0.45, 0.5)},
+            clip=(0, 1),
+            round_to=0,
+        ),
+        NumericSpec(
+            "POPULARITY",
+            default=(45.0, 12.0),
+            by_archetype={
+                BACKGROUND: (45.0, 20.0),
+
+                DANCE_POP: (78.0, 9.0),
+                RAP_HIT: (72.0, 11.0),
+                ACOUSTIC: (48.0, 12.0),
+                AMBIENT: (22.0, 9.0),
+                ROCK: (55.0, 13.0),
+            },
+            clip=(0, 100),
+            round_to=0,
+        ),
+    ]
+    return DatasetSpec(
+        name="spotify",
+        archetypes=_ARCHETYPES,
+        columns=columns,
+        default_rows=8_000,
+        target_columns=["POPULARITY"],
+        pattern_columns=[
+            "POPULARITY", "GENRE", "DANCEABILITY", "ENERGY",
+            "ACOUSTICNESS", "INSTRUMENTALNESS", "LOUDNESS", "ARTIST_TIER",
+        ],
+        description="Spotify track features and popularity (paper SP, 42K x 15)",
+    )

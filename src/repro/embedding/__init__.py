@@ -1,0 +1,53 @@
+"""Table embedding (paper Section 5.1): corpus, SGNS Word2Vec, cell vectors.
+
+Public surface::
+
+    from repro.embedding import (
+        build_corpus, Word2Vec, Word2VecConfig, CellEmbeddingModel,
+        train_pmi_embedding, EmbDIEmbedder,
+    )
+"""
+
+from repro.embedding.corpus import (
+    DEFAULT_COLUMN_CHUNK,
+    DEFAULT_MAX_SENTENCES,
+    ROWS_AND_COLUMNS,
+    ROWS_ONLY,
+    build_corpus,
+    corpus_token_counts,
+)
+from repro.embedding.embdi import (
+    EmbDIEmbedder,
+    build_tripartite_graph,
+    random_walks,
+)
+from repro.embedding.model import CellEmbeddingModel
+from repro.embedding.pmi import (
+    cooccurrence_counts,
+    ppmi_matrix,
+    train_pmi_embedding,
+)
+from repro.embedding.word2vec import (
+    Word2Vec,
+    Word2VecConfig,
+    sample_training_pairs,
+)
+
+__all__ = [
+    "CellEmbeddingModel",
+    "DEFAULT_COLUMN_CHUNK",
+    "DEFAULT_MAX_SENTENCES",
+    "EmbDIEmbedder",
+    "ROWS_AND_COLUMNS",
+    "ROWS_ONLY",
+    "Word2Vec",
+    "Word2VecConfig",
+    "build_corpus",
+    "build_tripartite_graph",
+    "cooccurrence_counts",
+    "corpus_token_counts",
+    "ppmi_matrix",
+    "random_walks",
+    "sample_training_pairs",
+    "train_pmi_embedding",
+]

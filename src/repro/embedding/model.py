@@ -1,0 +1,69 @@
+"""Cell-vector model M : (cell) -> R^d (paper Algorithm 2, line 4).
+
+Every distinct (column, bin) token has one learned vector; a cell's vector is
+its token's vector.  From these the selection step derives:
+
+* *tuple-vectors* — componentwise mean of a row's cell vectors (lines 8-10);
+* *column-vectors* — componentwise mean of a column's cell vectors over all
+  rows (lines 13-15).
+
+Both are computed directly from the token-id matrix of a
+:class:`~repro.binning.BinnedTable` (full table or query-result subset), so
+the expensive training is done once and reused for every query — the paper's
+key interactivity argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+
+
+class CellEmbeddingModel:
+    """Frozen mapping from token ids to vectors, with row/column pooling."""
+
+    def __init__(self, vectors: np.ndarray, vocab: list[str]):
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D (vocab x dim) array")
+        if len(vocab) != vectors.shape[0]:
+            raise ValueError(
+                f"vocab size {len(vocab)} does not match vectors rows {vectors.shape[0]}"
+            )
+        self.vectors = np.asarray(vectors, dtype=np.float64)
+        self.vocab = list(vocab)
+        self.token_to_id = {token: i for i, token in enumerate(vocab)}
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+    def vector_of(self, token: str) -> np.ndarray:
+        """The vector of a token string like ``"DISTANCE=long"``."""
+        try:
+            return self.vectors[self.token_to_id[token]]
+        except KeyError:
+            raise KeyError(f"unknown token {token!r}") from None
+
+    def cell_vectors(self, binned: BinnedTable) -> np.ndarray:
+        """(n, m, d) array of per-cell vectors for ``binned``."""
+        self._check_compatible(binned)
+        return self.vectors[binned.token_ids]
+
+    def row_vectors(self, binned: BinnedTable) -> np.ndarray:
+        """(n, d) tuple-vectors: mean over the row's cells (Alg. 2 line 9)."""
+        self._check_compatible(binned)
+        return self.vectors[binned.token_ids].mean(axis=1)
+
+    def column_vectors(self, binned: BinnedTable) -> np.ndarray:
+        """(m, d) column-vectors: mean over the column's cells (Alg. 2 line 14)."""
+        self._check_compatible(binned)
+        return self.vectors[binned.token_ids].mean(axis=0)
+
+    def _check_compatible(self, binned: BinnedTable) -> None:
+        max_token = int(binned.token_ids.max(initial=0))
+        if max_token >= len(self.vocab):
+            raise ValueError(
+                "binned table references token ids beyond this model's vocabulary; "
+                "was it binned with a different TableBinner?"
+            )

@@ -1,0 +1,73 @@
+"""Count-based alternative embedding: PPMI + truncated SVD.
+
+The paper's future-work section invites exploring other table-embedding
+methods.  SGNS is known to implicitly factorize a shifted PMI matrix
+(Levy & Goldberg 2014), so a direct PPMI/SVD factorization is the natural
+deterministic alternative; it backs the embedding ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embedding.model import CellEmbeddingModel
+
+
+def cooccurrence_counts(
+    sentences: Sequence[np.ndarray], vocab_size: int, max_pairs_per_sentence: int = 64,
+    seed: int = 0,
+) -> np.ndarray:
+    """Symmetric token co-occurrence counts with whole-sentence windows.
+
+    Long sentences are sub-sampled to ``max_pairs_per_sentence`` random pairs
+    to keep the construction linear in corpus size.
+    """
+    rng = np.random.default_rng(seed)
+    counts = np.zeros((vocab_size, vocab_size), dtype=np.float64)
+    for sentence in sentences:
+        length = len(sentence)
+        if length < 2:
+            continue
+        n_pairs = min(max_pairs_per_sentence, length * (length - 1) // 2)
+        first = rng.integers(0, length, size=n_pairs)
+        shift = rng.integers(1, length, size=n_pairs)
+        second = (first + shift) % length
+        np.add.at(counts, (sentence[first], sentence[second]), 1.0)
+        np.add.at(counts, (sentence[second], sentence[first]), 1.0)
+    return counts
+
+
+def ppmi_matrix(counts: np.ndarray) -> np.ndarray:
+    """Positive pointwise mutual information of a co-occurrence matrix."""
+    total = counts.sum()
+    if total == 0:
+        return np.zeros_like(counts)
+    row_sums = counts.sum(axis=1, keepdims=True)
+    col_sums = counts.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        expected = row_sums @ col_sums / total
+        pmi = np.log(np.where(expected > 0, counts * total / (row_sums * col_sums), 1.0))
+    pmi[~np.isfinite(pmi)] = 0.0
+    return np.maximum(pmi, 0.0)
+
+
+def train_pmi_embedding(
+    sentences: Sequence[np.ndarray],
+    vocab: list[str],
+    dim: int = 32,
+    seed: int = 0,
+) -> CellEmbeddingModel:
+    """PPMI + truncated SVD embedding over the same corpus as Word2Vec."""
+    vocab_size = len(vocab)
+    counts = cooccurrence_counts(sentences, vocab_size, seed=seed)
+    ppmi = ppmi_matrix(counts)
+    dim = min(dim, vocab_size)
+    # Vocabulary is small (columns x bins), dense SVD is cheap and exact.
+    left, singular_values, _ = np.linalg.svd(ppmi, full_matrices=False)
+    vectors = left[:, :dim] * np.sqrt(singular_values[:dim])[np.newaxis, :]
+    if vectors.shape[1] < dim:
+        pad = np.zeros((vocab_size, dim - vectors.shape[1]))
+        vectors = np.hstack([vectors, pad])
+    return CellEmbeddingModel(vectors, vocab)

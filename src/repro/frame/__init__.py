@@ -1,0 +1,29 @@
+"""Columnar DataFrame substrate (stand-in for pandas).
+
+Public surface::
+
+    from repro.frame import DataFrame, Column, read_csv, to_csv
+
+The frame supports the selection-projection-group-sort algebra used during
+exploratory data analysis, plus truncated pandas-style display — the
+baseline view SubTab improves upon.
+"""
+
+from repro.frame.column import CATEGORICAL, NUMERIC, Column, infer_kind
+from repro.frame.display import render_full, render_grid, render_truncated
+from repro.frame.frame import DataFrame, GroupBy
+from repro.frame.io import read_csv, to_csv
+
+__all__ = [
+    "CATEGORICAL",
+    "NUMERIC",
+    "Column",
+    "DataFrame",
+    "GroupBy",
+    "infer_kind",
+    "read_csv",
+    "render_full",
+    "render_grid",
+    "render_truncated",
+    "to_csv",
+]

@@ -1,0 +1,106 @@
+"""Textual rendering of DataFrames.
+
+``render_truncated`` mimics pandas' default ``display()``: the first and last
+few rows over the first and last few columns — the uninformative view the
+paper's introduction criticizes.  ``render_full`` renders a small table in
+full, optionally with per-cell ANSI highlighting (used by
+:mod:`repro.core.highlight` to color association rules as in the paper's
+Figures 1 and 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+ELLIPSIS = "..."
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "None"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _column_width(header: str, cells: Sequence[str]) -> int:
+    return max([len(header)] + [len(cell) for cell in cells])
+
+
+def render_grid(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    decorate: "Callable[[int, int, str], str] | None" = None,
+) -> str:
+    """Render a grid of pre-formatted strings with aligned columns.
+
+    ``decorate(row, col, text)`` may wrap a cell with ANSI codes; decoration
+    is applied after width computation so colors do not skew alignment.
+    """
+    widths = [
+        _column_width(header, [row[j] for row in rows])
+        for j, header in enumerate(headers)
+    ]
+    lines = ["  ".join(header.ljust(width) for header, width in zip(headers, widths))]
+    lines.append("  ".join("-" * width for width in widths))
+    for i, row in enumerate(rows):
+        cells = []
+        for j, (cell, width) in enumerate(zip(row, widths)):
+            padded = cell.ljust(width)
+            if decorate is not None:
+                padded = decorate(i, j, padded)
+            cells.append(padded)
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_full(frame, decorate=None) -> str:
+    """Render every row and column of ``frame`` (intended for sub-tables)."""
+    headers = list(frame.columns)
+    rows = [
+        [_format_value(frame.column(name)[i]) for name in headers]
+        for i in range(frame.n_rows)
+    ]
+    body = render_grid(headers, rows, decorate=decorate)
+    return f"{body}\n[{frame.n_rows} rows x {frame.n_cols} columns]"
+
+
+def render_truncated(frame, max_rows: int = 10, max_cols: int = 10) -> str:
+    """Pandas-style corner display: head/tail rows, first/last columns."""
+    n_rows, n_cols = frame.shape
+    if n_rows == 0 or n_cols == 0:
+        return f"Empty DataFrame [{n_rows} rows x {n_cols} columns]"
+
+    if n_cols > max_cols:
+        half = max_cols // 2
+        col_names = frame.columns[:half] + [ELLIPSIS] + frame.columns[-half:]
+    else:
+        col_names = list(frame.columns)
+
+    if n_rows > max_rows:
+        half = max_rows // 2
+        row_indices: list = list(range(half)) + [None] + list(
+            range(n_rows - half, n_rows)
+        )
+    else:
+        row_indices = list(range(n_rows))
+
+    rows = []
+    for index in row_indices:
+        if index is None:
+            rows.append([ELLIPSIS] * len(col_names))
+            continue
+        cells = []
+        for name in col_names:
+            if name == ELLIPSIS:
+                cells.append(ELLIPSIS)
+            else:
+                cells.append(_format_value(frame.column(name)[index]))
+        rows.append(cells)
+    body = render_grid(col_names, rows)
+    return f"{body}\n[{n_rows} rows x {n_cols} columns]"

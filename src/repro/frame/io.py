@@ -1,0 +1,59 @@
+"""CSV input/output for :class:`repro.frame.DataFrame`.
+
+Type inference follows :func:`repro.frame.column.infer_kind`: a column whose
+non-missing values all parse as numbers becomes numeric, otherwise
+categorical.  Common missing markers (empty string, ``NA``, ``NaN`` ...)
+become missing values.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+
+
+def read_csv(path: "str | Path") -> DataFrame:
+    """Load a CSV file with a header row into a DataFrame."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row") from None
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for line_number, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} fields, got {len(record)}"
+                )
+            for cell, bucket in zip(record, raw_columns):
+                bucket.append(cell)
+    columns = [Column(name, values) for name, values in zip(header, raw_columns)]
+    return DataFrame(columns)
+
+
+def _serialize(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return ""
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(float(value))  # float() strips numpy scalar wrappers
+    return str(value)
+
+
+def to_csv(frame: DataFrame, path: "str | Path") -> None:
+    """Write ``frame`` to ``path`` as CSV (missing values become empty cells)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(frame.columns)
+        for row in frame.iter_rows():
+            writer.writerow([_serialize(row[name]) for name in frame.columns])

@@ -1,0 +1,37 @@
+"""Hardness artifacts (paper Section 4): reductions and brute-force optima.
+
+Public surface::
+
+    from repro.hardness import (
+        dominating_set_to_cell_cover, vertex_cover_to_cell_cover,
+        decide_cell_cover, brute_force_opt_subtable,
+    )
+"""
+
+from repro.hardness.brute_force import (
+    BruteForceResult,
+    brute_force_max_coverage_rows,
+    brute_force_opt_subtable,
+)
+from repro.hardness.reductions import (
+    CellCoverInstance,
+    Pattern,
+    decide_cell_cover,
+    dominating_set_to_cell_cover,
+    has_dominating_set,
+    has_vertex_cover,
+    vertex_cover_to_cell_cover,
+)
+
+__all__ = [
+    "BruteForceResult",
+    "CellCoverInstance",
+    "Pattern",
+    "brute_force_max_coverage_rows",
+    "brute_force_opt_subtable",
+    "decide_cell_cover",
+    "dominating_set_to_cell_cover",
+    "has_dominating_set",
+    "has_vertex_cover",
+    "vertex_cover_to_cell_cover",
+]

@@ -1,0 +1,109 @@
+"""Exact OPT-SUB-TABLE by exhaustive enumeration (tiny inputs only).
+
+Used to validate the greedy baseline's (1 - 1/e) guarantee and to sanity-
+check the scorer: the brute-force optimum is the yardstick every approximate
+selector is compared against in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Sequence
+
+from repro.metrics.combined import SubTableScorer
+
+MAX_ENUMERATION = 2_000_000
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """The optimal selection and its scores."""
+
+    rows: tuple
+    columns: tuple
+    cell_coverage: float
+    diversity: float
+    combined: float
+
+
+def _count_combinations(n: int, k: int) -> int:
+    from math import comb
+
+    return comb(n, min(k, n))
+
+
+def brute_force_opt_subtable(
+    scorer: SubTableScorer,
+    k: int,
+    l: int,
+    alpha: Optional[float] = None,
+    targets: Sequence[str] = (),
+) -> BruteForceResult:
+    """Enumerate every k x l sub-table and return the best combined score.
+
+    Raises :class:`ValueError` when the search space exceeds
+    ``MAX_ENUMERATION`` sub-tables — this function exists for ground truth
+    on toy tables, exactly the regime the paper's complexity section calls
+    infeasible in general.
+    """
+    binned = scorer.binned
+    n, m = binned.n_rows, binned.n_cols
+    k = min(k, n)
+    targets = list(targets)
+    free_columns = [name for name in binned.columns if name not in targets]
+    n_free = l - len(targets)
+    if n_free < 0:
+        raise ValueError("more target columns than l")
+    n_free = min(n_free, len(free_columns))
+
+    total = _count_combinations(n, k) * _count_combinations(len(free_columns), n_free)
+    if total > MAX_ENUMERATION:
+        raise ValueError(
+            f"{total} candidate sub-tables exceed the enumeration cap "
+            f"{MAX_ENUMERATION}; use a smaller table"
+        )
+
+    if alpha is not None and alpha != scorer.alpha:
+        scorer = SubTableScorer(
+            binned, rules=scorer.rules, targets=targets or None, alpha=alpha
+        )
+
+    best: Optional[BruteForceResult] = None
+    for column_combo in combinations(free_columns, n_free):
+        columns = [
+            name for name in binned.columns
+            if name in set(column_combo) | set(targets)
+        ]
+        for rows in combinations(range(n), k):
+            scores = scorer.score(list(rows), columns)
+            if best is None or scores.combined > best.combined:
+                best = BruteForceResult(
+                    rows=rows,
+                    columns=tuple(columns),
+                    cell_coverage=scores.cell_coverage,
+                    diversity=scores.diversity,
+                    combined=scores.combined,
+                )
+    assert best is not None
+    return best
+
+
+def brute_force_max_coverage_rows(
+    scorer: SubTableScorer,
+    columns: Sequence[str],
+    k: int,
+) -> tuple[tuple, float]:
+    """Optimal k rows for *fixed* columns under cell coverage alone."""
+    n = scorer.binned.n_rows
+    k = min(k, n)
+    if _count_combinations(n, k) > MAX_ENUMERATION:
+        raise ValueError("row enumeration too large; use a smaller table")
+    best_rows: tuple = ()
+    best_cov = -1.0
+    for rows in combinations(range(n), k):
+        cov = scorer.evaluator.coverage(list(rows), columns)
+        if cov > best_cov:
+            best_cov = cov
+            best_rows = rows
+    return best_rows, best_cov

@@ -1,0 +1,182 @@
+"""Executable reductions behind the paper's hardness results (Section 4.1).
+
+Proposition 4.1 reduces Dominating Set to DEC-CELL-COVER (W[2]-hardness in
+k); Proposition 4.2 reduces Vertex Cover with max degree 3 to the case of
+O(1) attributes (NP-hardness in k).  Both proofs use degenerate association
+rules with an empty consequent — single-item patterns — so this module
+carries a minimal, self-contained pattern/coverage model matching
+Definition 3.6 for that special case, plus brute-force deciders used by the
+property tests to verify each reduction end to end on random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A single-item pattern {column = value} -> {} (degenerate rule)."""
+
+    column: int
+    value: int
+
+
+@dataclass
+class CellCoverInstance:
+    """A DEC-CELL-COVER instance with single-item patterns.
+
+    ``table`` is an integer matrix where -1 encodes NULL.  ``patterns`` are
+    the degenerate rules; ``k`` rows must be selected (all columns are kept,
+    matching both reductions); ``threshold`` is the coverage target in cells.
+    """
+
+    table: np.ndarray
+    patterns: list
+    k: int
+    threshold: int
+
+    def pattern_cells(self, pattern: Pattern) -> int:
+        """|cell(P, T)|: rows matching the pattern, times its one column."""
+        return int((self.table[:, pattern.column] == pattern.value).sum())
+
+    def covered_cells(self, rows: Sequence[int]) -> int:
+        """Cells covered by the sub-table made of ``rows`` (all columns)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        total = 0
+        for pattern in self.patterns:
+            column = self.table[:, pattern.column]
+            if (column[rows] == pattern.value).any():
+                total += int((column == pattern.value).sum())
+        return total
+
+    def total_coverable(self) -> int:
+        """upcov: cells covered when every pattern is covered."""
+        return self.covered_cells(np.arange(self.table.shape[0]))
+
+
+def decide_cell_cover(instance: CellCoverInstance) -> Optional[tuple]:
+    """Brute-force DEC-CELL-COVER: a witness row set, or None.
+
+    Exponential in k — usable only on the small instances of the tests,
+    which is the point: the reduction's correctness, not its speed.
+    """
+    n = instance.table.shape[0]
+    for rows in combinations(range(n), min(instance.k, n)):
+        if instance.covered_cells(rows) >= instance.threshold:
+            return rows
+    return None
+
+
+# -- Proposition 4.1: Dominating Set ----------------------------------------
+
+def dominating_set_to_cell_cover(graph: nx.Graph, k: int) -> CellCoverInstance:
+    """Build the DEC-CELL-COVER instance of Proposition 4.1.
+
+    One row and one column per vertex; cell (v, u) is 1 when u = v or
+    (u, v) is an edge, NULL otherwise; one pattern per column; the
+    threshold asks for *all* non-NULL cells — achievable by k rows iff the
+    graph has a dominating set of size k.
+    """
+    nodes = list(graph.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    table = np.full((n, n), -1, dtype=np.int64)
+    for v in nodes:
+        table[index[v], index[v]] = 1
+        for u in graph.neighbors(v):
+            table[index[v], index[u]] = 1
+    patterns = [Pattern(column=j, value=1) for j in range(n)]
+    instance = CellCoverInstance(table=table, patterns=patterns, k=k, threshold=0)
+    instance.threshold = instance.total_coverable()
+    return instance
+
+
+def has_dominating_set(graph: nx.Graph, k: int) -> bool:
+    """Brute-force Dominating Set decider (ground truth for tests)."""
+    nodes = list(graph.nodes)
+    if k >= len(nodes):
+        return True
+    for subset in combinations(nodes, k):
+        dominated = set(subset)
+        for v in subset:
+            dominated.update(graph.neighbors(v))
+        if len(dominated) == len(nodes):
+            return True
+    return False
+
+
+# -- Proposition 4.2: Vertex Cover, O(1) attributes ---------------------------
+
+N_ATTRIBUTES = 5
+
+
+def _assign_edge_attributes(graph: nx.Graph) -> dict:
+    """Assign each edge one of 5 attributes, free at both endpoints.
+
+    With maximum degree 3, each endpoint's other edges occupy at most 4
+    attributes in total, so a fifth is always available (the proof's
+    argument); greedy first-fit realizes it.
+    """
+    used: dict = {node: set() for node in graph.nodes}
+    assignment: dict = {}
+    for edge in graph.edges:
+        u, v = edge
+        free = [
+            a for a in range(N_ATTRIBUTES)
+            if a not in used[u] and a not in used[v]
+        ]
+        if not free:
+            raise ValueError(
+                "no free attribute: graph exceeds the degree-3 bound of Prop. 4.2"
+            )
+        attribute = free[0]
+        assignment[(u, v)] = attribute
+        assignment[(v, u)] = attribute
+        used[u].add(attribute)
+        used[v].add(attribute)
+    return assignment
+
+
+def vertex_cover_to_cell_cover(graph: nx.Graph, k: int) -> CellCoverInstance:
+    """Build the 5-attribute DEC-CELL-COVER instance of Proposition 4.2.
+
+    One row per vertex; each edge e = (u, v) writes its serial number into
+    one shared attribute of rows u and v; one pattern per edge; covering all
+    non-NULL cells with k rows is possible iff a k-vertex cover exists.
+    """
+    if graph.number_of_nodes() and max(dict(graph.degree).values(), default=0) > 3:
+        raise ValueError("Proposition 4.2's reduction requires max degree <= 3")
+    nodes = list(graph.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    assignment = _assign_edge_attributes(graph)
+    table = np.full((len(nodes), N_ATTRIBUTES), -1, dtype=np.int64)
+    patterns = []
+    for serial, (u, v) in enumerate(graph.edges, start=1):
+        attribute = assignment[(u, v)]
+        table[index[u], attribute] = serial
+        table[index[v], attribute] = serial
+        patterns.append(Pattern(column=attribute, value=serial))
+    instance = CellCoverInstance(table=table, patterns=patterns, k=k, threshold=0)
+    instance.threshold = instance.total_coverable()
+    return instance
+
+
+def has_vertex_cover(graph: nx.Graph, k: int) -> bool:
+    """Brute-force Vertex Cover decider (ground truth for tests)."""
+    nodes = list(graph.nodes)
+    edges = list(graph.edges)
+    if not edges:
+        return True
+    if k >= len(nodes):
+        return True
+    for subset in combinations(nodes, k):
+        chosen = set(subset)
+        if all(u in chosen or v in chosen for u, v in edges):
+            return True
+    return False

@@ -1,0 +1,31 @@
+"""Informativeness metrics (paper Section 3.2).
+
+Public surface::
+
+    from repro.metrics import SubTableScorer, CoverageEvaluator, diversity
+"""
+
+from repro.metrics.combined import (
+    DEFAULT_ALPHA,
+    Scores,
+    SubTableScorer,
+    combined_score,
+)
+from repro.metrics.coverage import CoverageEvaluator, IncrementalCoverage
+from repro.metrics.diversity import (
+    diversity,
+    diversity_of_codes,
+    pairwise_similarity,
+)
+
+__all__ = [
+    "CoverageEvaluator",
+    "DEFAULT_ALPHA",
+    "IncrementalCoverage",
+    "Scores",
+    "SubTableScorer",
+    "combined_score",
+    "diversity",
+    "diversity_of_codes",
+    "pairwise_similarity",
+]

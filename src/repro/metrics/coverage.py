@@ -1,0 +1,202 @@
+"""Cell coverage metric (paper Definition 3.6).
+
+A rule R is *covered* by a sub-table when (d1) all of R's columns are among
+the selected columns and some selected row satisfies R.  Its *marginal
+contribution* (d2) is the set of cells ``{(t, u) : t in T_R, u in U_R}`` of
+the full table.  Cell coverage (d3) is the size of the union of contributions
+of covered rules, normalized by ``upcov`` — the union over *all* rules.
+
+The evaluator pre-computes, per rule, the boolean row mask of T_R and the
+column index set, so one coverage query costs O(|covered rules| * n) bit-ops
+— fast enough to sit inside the greedy baseline's inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+from repro.rules.rule import AssociationRule
+
+
+class CoverageEvaluator:
+    """Evaluates cell coverage of sub-tables of one fixed table.
+
+    Parameters
+    ----------
+    binned:
+        The binned full table T.
+    rules:
+        The mined rule set R (already filtered to R* if targets are used).
+    """
+
+    def __init__(self, binned: BinnedTable, rules: Sequence[AssociationRule]):
+        self.binned = binned
+        self.rules = list(rules)
+        # T_R and U_R depend only on the rule's item set, not on how it is
+        # split into antecedent and consequent, so rules sharing an itemset
+        # share one mask — a large saving, since every frequent itemset can
+        # yield many antecedent/consequent splits.
+        self._pattern_of_rule: list[int] = []
+        self._rule_masks: list[np.ndarray] = []
+        self._rule_columns: list[frozenset[str]] = []
+        pattern_ids: dict[frozenset, int] = {}
+        for rule in self.rules:
+            pattern_id = pattern_ids.get(rule.items)
+            if pattern_id is None:
+                pattern_id = len(self._rule_masks)
+                pattern_ids[rule.items] = pattern_id
+                self._rule_masks.append(rule.holds_mask(binned))
+                self._rule_columns.append(rule.columns)
+            self._pattern_of_rule.append(pattern_id)
+        self._rules_by_row: list[list[int]] = [[] for _ in range(binned.n_rows)]
+        for pattern_id, mask in enumerate(self._rule_masks):
+            for row in np.flatnonzero(mask):
+                self._rules_by_row[row].append(pattern_id)
+        self._rules_of_pattern: list[list[int]] = [[] for _ in self._rule_masks]
+        for rule_id, pattern_id in enumerate(self._pattern_of_rule):
+            self._rules_of_pattern[pattern_id].append(rule_id)
+        self.n_patterns = len(self._rule_masks)
+        self.upcov = self._union_cell_count(range(self.n_patterns))
+
+    # -- internals -----------------------------------------------------------
+    def _union_cell_count(self, pattern_ids: Iterable[int]) -> int:
+        """|union of cell(R, T)| over the given patterns."""
+        per_column: dict[str, np.ndarray] = {}
+        for pattern_id in pattern_ids:
+            mask = self._rule_masks[pattern_id]
+            for column in self._rule_columns[pattern_id]:
+                if column in per_column:
+                    per_column[column] |= mask
+                else:
+                    per_column[column] = mask.copy()
+        return int(sum(mask.sum() for mask in per_column.values()))
+
+    # -- public API ----------------------------------------------------------
+    def covered_pattern_ids(
+        self, row_indices: Sequence[int], columns: Sequence[str]
+    ) -> list[int]:
+        """Covered pattern (deduped itemset) ids of the sub-table (d1)."""
+        column_set = frozenset(columns)
+        rows = np.asarray(row_indices, dtype=np.int64)
+        candidate_ids: set[int] = set()
+        for row in rows:
+            candidate_ids.update(self._rules_by_row[row])
+        return [
+            pattern_id
+            for pattern_id in sorted(candidate_ids)
+            if self._rule_columns[pattern_id] <= column_set
+        ]
+
+    def covered_cell_count(
+        self, row_indices: Sequence[int], columns: Sequence[str]
+    ) -> int:
+        """Unnormalized coverage: |union of cells of covered rules|."""
+        return self._union_cell_count(self.covered_pattern_ids(row_indices, columns))
+
+    def coverage(self, row_indices: Sequence[int], columns: Sequence[str]) -> float:
+        """cellCov_R(T, T_sub) in [0, 1] (Definition 3.6 d3)."""
+        if self.upcov == 0:
+            return 0.0
+        return self.covered_cell_count(row_indices, columns) / self.upcov
+
+    def covered_rules(
+        self, row_indices: Sequence[int], columns: Sequence[str]
+    ) -> list[AssociationRule]:
+        """The covered rules themselves (used by the highlighting UI)."""
+        return [
+            self.rules[rule_id]
+            for pattern_id in self.covered_pattern_ids(row_indices, columns)
+            for rule_id in self._rules_of_pattern[pattern_id]
+        ]
+
+    def patterns_holding_for_row(self, row_index: int) -> list[int]:
+        """Pattern ids that hold for a single full-table row."""
+        return list(self._rules_by_row[row_index])
+
+    def rules_of_pattern(self, pattern_id: int) -> list[AssociationRule]:
+        """All mined rules sharing one pattern (itemset)."""
+        return [self.rules[rule_id] for rule_id in self._rules_of_pattern[pattern_id]]
+
+    def pattern_mask(self, pattern_id: int) -> np.ndarray:
+        return self._rule_masks[pattern_id]
+
+    def pattern_columns(self, pattern_id: int) -> frozenset:
+        return self._rule_columns[pattern_id]
+
+
+class IncrementalCoverage:
+    """Incremental coverage for greedy row selection (Algorithm 1).
+
+    Columns are fixed up front; rows are added one at a time.  ``gain(row)``
+    returns the increase in covered-cell count if ``row`` were added, without
+    mutating state; ``add(row)`` commits.  Because cellCov is submodular in
+    rows, gains only shrink as the selection grows, which the greedy baseline
+    exploits via lazy evaluation.
+    """
+
+    def __init__(self, evaluator: CoverageEvaluator, columns: Sequence[str]):
+        self._evaluator = evaluator
+        self._column_set = frozenset(columns)
+        self._eligible_set = {
+            pattern_id
+            for pattern_id in range(evaluator.n_patterns)
+            if evaluator.pattern_columns(pattern_id) <= self._column_set
+        }
+        self._covered_patterns: set[int] = set()
+        self._covered_by_column: dict[str, np.ndarray] = {}
+        self.covered_cells = 0
+
+    def _new_patterns_for_row(self, row: int) -> list[int]:
+        return [
+            pattern_id
+            for pattern_id in self._evaluator.patterns_holding_for_row(row)
+            if pattern_id in self._eligible_set
+            and pattern_id not in self._covered_patterns
+        ]
+
+    def gain(self, row: int) -> int:
+        """Covered-cell increase from adding ``row`` (state unchanged)."""
+        gain = 0
+        scratch: dict[str, np.ndarray] = {}
+        for pattern_id in self._new_patterns_for_row(row):
+            mask = self._evaluator.pattern_mask(pattern_id)
+            for column in self._evaluator.pattern_columns(pattern_id):
+                base = self._covered_by_column.get(column)
+                if column in scratch:
+                    new = mask & ~scratch[column]
+                    if base is not None:
+                        new &= ~base
+                    scratch[column] |= mask
+                else:
+                    new = mask if base is None else (mask & ~base)
+                    scratch[column] = (
+                        mask.copy() if base is None else (base | mask)
+                    )
+                gain += int(new.sum())
+        return gain
+
+    def add(self, row: int) -> int:
+        """Commit ``row``; returns the realized gain."""
+        gain = 0
+        for pattern_id in self._new_patterns_for_row(row):
+            mask = self._evaluator.pattern_mask(pattern_id)
+            self._covered_patterns.add(pattern_id)
+            for column in self._evaluator.pattern_columns(pattern_id):
+                base = self._covered_by_column.get(column)
+                if base is None:
+                    self._covered_by_column[column] = mask.copy()
+                    gain += int(mask.sum())
+                else:
+                    gain += int((mask & ~base).sum())
+                    base |= mask
+        self.covered_cells += gain
+        return gain
+
+    @property
+    def coverage(self) -> float:
+        if self._evaluator.upcov == 0:
+            return 0.0
+        return self.covered_cells / self._evaluator.upcov

@@ -1,0 +1,58 @@
+"""Diversity metric (paper Definition 3.7).
+
+Similarity of two sub-table rows is the fraction of selected columns whose
+two cells fall in the same bin (a Jaccard-like measure that treats
+continuous and categorical columns uniformly thanks to binning).  Diversity
+is one minus the average pairwise similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+
+
+def pairwise_similarity(codes: np.ndarray) -> float:
+    """Average fraction of equal-bin cells over all row pairs of ``codes``."""
+    k = codes.shape[0]
+    if k < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(k):
+        equal = codes[i + 1:] == codes[i][np.newaxis, :]
+        total += equal.mean(axis=1).sum()
+        pairs += k - i - 1
+    return total / pairs
+
+
+def diversity_of_codes(codes: np.ndarray) -> float:
+    """1 - average pairwise similarity; in [0, 1].
+
+    Sub-tables with fewer than two rows have no pair to differ, so their
+    diversity is 0 by convention (no evidence of variety).
+    """
+    if codes.shape[0] < 2:
+        return 0.0
+    return 1.0 - pairwise_similarity(codes)
+
+
+def diversity(
+    binned: BinnedTable,
+    row_indices: Sequence[int],
+    columns: Sequence[str],
+) -> float:
+    """divers(T_sub, B) for the sub-table given by rows x columns of ``binned``.
+
+    A sub-table with fewer than two rows has diversity 0 by convention
+    (there is no pair to differ).
+    """
+    rows = np.asarray(row_indices, dtype=np.int64)
+    col_idx = np.array([binned.column_index(name) for name in columns], dtype=np.int64)
+    if len(rows) == 0 or len(col_idx) == 0:
+        return 0.0
+    codes = binned.codes[np.ix_(rows, col_idx)]
+    return diversity_of_codes(codes)

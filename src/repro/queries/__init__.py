@@ -1,0 +1,60 @@
+"""SP query algebra and EDA-session simulation (paper Sections 5.1, 6.2.2).
+
+Public surface::
+
+    from repro.queries import SPQuery, Eq, InRange, SessionGenerator, replay_sessions
+"""
+
+from repro.queries.generator import SessionGenerator
+from repro.queries.ops import GroupByOp, SPQuery, SortOp
+from repro.queries.predicates import (
+    COLUMN_FRAGMENT,
+    VALUE_FRAGMENT,
+    Eq,
+    Fragment,
+    Gt,
+    InRange,
+    InSet,
+    IsMissing,
+    Lt,
+    Predicate,
+    conjunction_mask,
+)
+from repro.queries.replay import (
+    ReplayResult,
+    capture_rates_by_width,
+    fragment_captured,
+    replay_sessions,
+)
+from repro.queries.session import (
+    EDASession,
+    SessionBuilder,
+    SessionStep,
+    session_result,
+)
+
+__all__ = [
+    "COLUMN_FRAGMENT",
+    "EDASession",
+    "Eq",
+    "Fragment",
+    "GroupByOp",
+    "Gt",
+    "InRange",
+    "InSet",
+    "IsMissing",
+    "Lt",
+    "Predicate",
+    "ReplayResult",
+    "SPQuery",
+    "SessionBuilder",
+    "SessionGenerator",
+    "SessionStep",
+    "SortOp",
+    "VALUE_FRAGMENT",
+    "capture_rates_by_width",
+    "conjunction_mask",
+    "fragment_captured",
+    "replay_sessions",
+    "session_result",
+]

@@ -1,0 +1,184 @@
+"""Synthetic EDA-session generator.
+
+The paper's simulation study replays 122 recorded analyst sessions over the
+cyber-security dataset.  Those recordings are not publicly redistributable
+offline, so this generator synthesizes sessions with the property the study
+depends on: *analysts follow the data* — the values they filter on and the
+columns they group by next are drawn from what the current result shows, and
+are biased toward the dataset's prominent patterns.  A sub-table that
+surfaces real patterns therefore has a better chance of containing the next
+step's fragments, which is exactly the mechanism Fig. 6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.binning.base import MISSING, RANGE
+from repro.binning.pipeline import BinnedTable
+from repro.queries.ops import SPQuery
+from repro.queries.predicates import Eq, InRange
+from repro.queries.session import EDASession, SessionBuilder
+from repro.utils.rng import ensure_rng
+
+DEFAULT_STEP_WEIGHTS = {
+    "filter": 0.45,
+    "project": 0.15,
+    "group_by": 0.25,
+    "sort": 0.15,
+}
+MIN_RESULT_ROWS = 20
+
+
+class SessionGenerator:
+    """Generates data-driven EDA sessions over one binned table.
+
+    Parameters
+    ----------
+    binned:
+        The binned full table (bins provide realistic numeric filter ranges).
+    pattern_columns:
+        Columns participating in the dataset's prominent patterns; steps are
+        biased toward them with probability ``pattern_bias``.
+    pattern_bias:
+        Probability that a step references a pattern column.
+    """
+
+    def __init__(
+        self,
+        binned: BinnedTable,
+        pattern_columns: Optional[Sequence[str]] = None,
+        pattern_bias: float = 0.7,
+        step_weights: Optional[dict] = None,
+        seed=None,
+    ):
+        self.binned = binned
+        self.frame = binned.frame
+        self.pattern_columns = [
+            name for name in (pattern_columns or []) if name in self.frame
+        ]
+        self.pattern_bias = pattern_bias
+        weights = dict(DEFAULT_STEP_WEIGHTS)
+        if step_weights:
+            weights.update(step_weights)
+        total = sum(weights.values())
+        self._step_kinds = list(weights.keys())
+        self._step_probs = np.array([weights[k] for k in self._step_kinds]) / total
+        self._rng = ensure_rng(seed)
+
+    # -- public API -------------------------------------------------------------
+    def generate(self, n_sessions: int, min_steps: int = 3, max_steps: int = 8,
+                 name: str = "synthetic") -> list[EDASession]:
+        """Generate ``n_sessions`` sessions of ``min_steps..max_steps`` steps."""
+        return [
+            self._one_session(
+                f"{name}-{i}", int(self._rng.integers(min_steps, max_steps + 1))
+            )
+            for i in range(n_sessions)
+        ]
+
+    # -- internals ---------------------------------------------------------------
+    def _one_session(self, name: str, n_steps: int) -> EDASession:
+        builder = SessionBuilder(name)
+        for _ in range(n_steps):
+            kind = self._rng.choice(self._step_kinds, p=self._step_probs)
+            if kind == "filter":
+                self._add_filter(builder)
+            elif kind == "project":
+                self._add_project(builder)
+            elif kind == "group_by":
+                self._add_group_by(builder)
+            else:
+                self._add_sort(builder)
+        return builder.build()
+
+    def _visible_columns(self, state: SPQuery) -> list[str]:
+        if state.projection is not None:
+            return list(state.projection)
+        return list(self.frame.columns)
+
+    def _pick_column(self, candidates: Sequence[str]) -> str:
+        candidates = list(candidates)
+        patterned = [name for name in candidates if name in self.pattern_columns]
+        if patterned and self._rng.random() < self.pattern_bias:
+            candidates = patterned
+        return candidates[self._rng.integers(0, len(candidates))]
+
+    def _current_rows(self, state: SPQuery) -> np.ndarray:
+        return state.row_indices(self.frame)
+
+    def _add_filter(self, builder: SessionBuilder) -> None:
+        state = builder.state
+        rows = self._current_rows(state)
+        if len(rows) < MIN_RESULT_ROWS:
+            self._add_sort(builder)  # result already narrow; observe instead
+            return
+        columns = self._visible_columns(state)
+        for _ in range(8):  # retries to keep the result non-trivial
+            column_name = self._pick_column(columns)
+            predicate = self._draw_predicate(column_name, rows)
+            if predicate is None:
+                continue
+            candidate = SPQuery(
+                state.predicates + (predicate,), state.projection
+            )
+            if len(candidate.row_indices(self.frame)) >= MIN_RESULT_ROWS:
+                builder.filter(predicate)
+                return
+        self._add_sort(builder)
+
+    def _draw_predicate(self, column_name: str, rows: np.ndarray):
+        """A predicate on a value the analyst can actually see in the result."""
+        column = self.frame.column(column_name)
+        row = int(rows[self._rng.integers(0, len(rows))])
+        value = column[row]
+        binning = self.binned.binnings[column_name]
+        bin_ = binning.bins[self.binned.codes[row, self.binned.column_index(column_name)]]
+        if bin_.kind == MISSING:
+            return None
+        if column.is_numeric and bin_.kind == RANGE:
+            return InRange(column_name, bin_.low, bin_.high)
+        if not column.is_numeric:
+            return Eq(column_name, value)
+        return None
+
+    def _add_project(self, builder: SessionBuilder) -> None:
+        state = builder.state
+        columns = self._visible_columns(state)
+        if len(columns) <= 3:
+            self._add_sort(builder)
+            return
+        target_width = int(self._rng.integers(3, max(4, len(columns) // 2) + 1))
+        chosen: list[str] = []
+        pool = list(columns)
+        while len(chosen) < target_width and pool:
+            pick = self._pick_column(pool)
+            chosen.append(pick)
+            pool.remove(pick)
+        builder.project([name for name in columns if name in chosen])
+
+    def _add_group_by(self, builder: SessionBuilder) -> None:
+        columns = self._visible_columns(builder.state)
+        categorical = [
+            name for name in columns if not self.frame.column(name).is_numeric
+        ]
+        keys_pool = categorical or columns
+        key = self._pick_column(keys_pool)
+        numeric = [
+            name for name in columns
+            if self.frame.column(name).is_numeric and name != key
+        ]
+        if numeric:
+            agg_column = self._pick_column(numeric)
+            agg_func = str(self._rng.choice(["mean", "count", "max"]))
+        else:
+            agg_column = key
+            agg_func = "count"
+        builder.group_by([key], agg_column, agg_func)
+
+    def _add_sort(self, builder: SessionBuilder) -> None:
+        columns = self._visible_columns(builder.state)
+        column = self._pick_column(columns)
+        builder.sort(column, ascending=bool(self._rng.random() < 0.5))

@@ -1,0 +1,110 @@
+"""Session replay and fragment-capture evaluation (paper Section 6.2.2).
+
+For every consecutive pair of steps in a session, a selector displays a
+sub-table of the *previous* step's result; the study measures the fraction
+of the *next* step's query fragments that appear in that sub-table —
+"appearance of next-query fragments in the sub-table may imply that the
+sub-table is useful in selecting the next exploration step".
+
+Fragment semantics:
+
+* a column fragment is captured when the column is among the sub-table's
+  selected columns;
+* a categorical selection term is captured when the value is visible in the
+  sub-table;
+* a numeric selection term (a range) is captured when the sub-table shows
+  some value of that column inside the range — the displayed cell is what
+  makes the analyst aware of the value region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.result import SubTable
+from repro.queries.predicates import COLUMN_FRAGMENT, Fragment
+from repro.queries.session import EDASession
+
+
+def fragment_captured(subtable: SubTable, fragment: Fragment) -> bool:
+    """Whether one query fragment is visible in the sub-table."""
+    if fragment.column not in subtable.columns:
+        return False
+    if fragment.kind == COLUMN_FRAGMENT:
+        return True
+    if fragment.value is not None:
+        return subtable.contains_value(fragment.column, fragment.value)
+    if fragment.low is not None or fragment.high is not None:
+        low = -math.inf if fragment.low is None else fragment.low
+        high = math.inf if fragment.high is None else fragment.high
+        column = subtable.frame.column(fragment.column)
+        if not column.is_numeric:
+            return False
+        return any(low <= value <= high for value in column.non_missing_values())
+    return False
+
+
+@dataclass
+class ReplayResult:
+    """Capture statistics of one selector over a collection of sessions."""
+
+    selector: str
+    width: int
+    captured: int = 0
+    total: int = 0
+    failures: int = 0
+    per_session: list = field(default_factory=list)
+
+    @property
+    def capture_rate(self) -> float:
+        return self.captured / self.total if self.total else 0.0
+
+
+def replay_sessions(
+    selector,
+    sessions: Sequence[EDASession],
+    k: int = 10,
+    l: int = 7,
+    selector_name: str | None = None,
+) -> ReplayResult:
+    """Replay ``sessions`` with ``selector`` and measure fragment capture.
+
+    ``selector`` follows the SubTab interface:
+    ``select(k, l, query=...) -> SubTable``.  Steps whose state selects no
+    rows are skipped (counted in ``failures``).
+    """
+    name = selector_name or getattr(selector, "name", type(selector).__name__)
+    result = ReplayResult(selector=name, width=l)
+    for session in sessions:
+        session_captured = 0
+        session_total = 0
+        for previous, nxt in session.consecutive_pairs():
+            try:
+                subtable = selector.select(k=k, l=l, query=previous.state)
+            except ValueError:
+                result.failures += 1
+                continue
+            for fragment in nxt.fragments:
+                session_total += 1
+                if fragment_captured(subtable, fragment):
+                    session_captured += 1
+        result.captured += session_captured
+        result.total += session_total
+        if session_total:
+            result.per_session.append(session_captured / session_total)
+    return result
+
+
+def capture_rates_by_width(
+    selector,
+    sessions: Sequence[EDASession],
+    widths: Sequence[int],
+    k: int = 10,
+) -> dict[int, float]:
+    """Fig. 6's x-axis sweep: capture rate per sub-table width."""
+    return {
+        width: replay_sessions(selector, sessions, k=k, l=width).capture_rate
+        for width in widths
+    }

@@ -1,0 +1,38 @@
+"""Association-rule mining substrate (paper Definition 3.4 / Section 6.1).
+
+Public surface::
+
+    from repro.rules import RuleMiner, AssociationRule, mine_frequent_itemsets
+
+Rules are used to *evaluate* sub-tables (cell coverage) and to drive the
+slow, rule-aware baselines; the practical SubTab algorithm never mines rules.
+"""
+
+from repro.rules.apriori import (
+    AprioriResult,
+    itemset_to_items,
+    mine_frequent_itemsets,
+)
+from repro.rules.miner import (
+    DEFAULT_MAX_RULE_SIZE,
+    DEFAULT_MIN_CONFIDENCE,
+    DEFAULT_MIN_RULE_SIZE,
+    DEFAULT_MIN_SUPPORT,
+    RuleMiner,
+    filter_rules_for_targets,
+)
+from repro.rules.rule import AssociationRule, Item
+
+__all__ = [
+    "AprioriResult",
+    "AssociationRule",
+    "DEFAULT_MAX_RULE_SIZE",
+    "DEFAULT_MIN_CONFIDENCE",
+    "DEFAULT_MIN_RULE_SIZE",
+    "DEFAULT_MIN_SUPPORT",
+    "Item",
+    "RuleMiner",
+    "filter_rules_for_targets",
+    "itemset_to_items",
+    "mine_frequent_itemsets",
+]

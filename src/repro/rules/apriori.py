@@ -1,0 +1,159 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant 1994).
+
+The paper mines rules with ``efficient-apriori``; that package is not
+available offline, so this module implements the classic level-wise Apriori
+with two table-specific accelerations:
+
+* items are global token ids of a :class:`~repro.binning.BinnedTable`, so a
+  transaction is simply a row of the token-id matrix;
+* support counting uses per-item boolean row masks combined with vectorized
+  AND — each transaction holds exactly one item per column, so candidate
+  itemsets never repeat a column and masks stay sparse in practice.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+
+ItemsetSupport = Dict[FrozenSet[int], float]
+
+
+class AprioriResult:
+    """Frequent itemsets grouped by size, with supports and row masks."""
+
+    def __init__(self, supports: ItemsetSupport, masks: dict, n_rows: int):
+        self.supports = supports
+        self._masks = masks
+        self.n_rows = n_rows
+
+    def itemsets_of_size(self, size: int) -> list[FrozenSet[int]]:
+        return [itemset for itemset in self.supports if len(itemset) == size]
+
+    def support(self, itemset: FrozenSet[int]) -> float:
+        return self.supports[itemset]
+
+    def mask(self, itemset: FrozenSet[int]) -> np.ndarray:
+        return self._masks[itemset]
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+
+def _item_masks(binned: BinnedTable) -> dict[int, np.ndarray]:
+    """Boolean row mask per token id: where that (column, bin) cell occurs."""
+    masks: dict[int, np.ndarray] = {}
+    for j in range(binned.n_cols):
+        column_tokens = binned.token_ids[:, j]
+        for token_id in np.unique(column_tokens):
+            masks[int(token_id)] = column_tokens == token_id
+    return masks
+
+
+def _generate_candidates(
+    frequent: list[FrozenSet[int]], size: int
+) -> Iterable[FrozenSet[int]]:
+    """Join step: merge frequent (size-1)-itemsets sharing a (size-2)-prefix."""
+    frequent_set = set(frequent)
+    sorted_itemsets = sorted(tuple(sorted(itemset)) for itemset in frequent)
+    for a_index in range(len(sorted_itemsets)):
+        first = sorted_itemsets[a_index]
+        for b_index in range(a_index + 1, len(sorted_itemsets)):
+            second = sorted_itemsets[b_index]
+            if first[:-1] != second[:-1]:
+                break  # sorted order: no further prefix matches
+            candidate = frozenset(first) | frozenset(second)
+            if len(candidate) != size:
+                continue
+            # Prune step: every (size-1)-subset must itself be frequent.
+            if all(
+                frozenset(subset) in frequent_set
+                for subset in combinations(candidate, size - 1)
+            ):
+                yield candidate
+
+
+def mine_frequent_itemsets(
+    binned: BinnedTable,
+    min_support: float = 0.1,
+    max_size: int = 4,
+    rows: "np.ndarray | None" = None,
+    max_itemsets: int = 200_000,
+) -> AprioriResult:
+    """Mine all itemsets with support >= ``min_support`` over ``binned``.
+
+    Parameters
+    ----------
+    rows:
+        Optional row subset (used by target-column mining, which splits the
+        table by target bin and mines each stratum separately).
+    max_itemsets:
+        Safety valve for pathologically dense tables; raising past it
+        indicates the support threshold is too low for the data.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+
+    item_masks = _item_masks(binned)
+    if rows is not None:
+        row_filter = np.zeros(binned.n_rows, dtype=bool)
+        row_filter[np.asarray(rows)] = True
+        item_masks = {item: mask & row_filter for item, mask in item_masks.items()}
+        n_rows = int(row_filter.sum())
+    else:
+        n_rows = binned.n_rows
+    if n_rows == 0:
+        return AprioriResult({}, {}, 0)
+
+    min_count = min_support * n_rows
+    supports: ItemsetSupport = {}
+    masks: dict[FrozenSet[int], np.ndarray] = {}
+
+    level: list[FrozenSet[int]] = []
+    for item, mask in item_masks.items():
+        count = int(mask.sum())
+        if count >= min_count:
+            itemset = frozenset([item])
+            supports[itemset] = count / n_rows
+            masks[itemset] = mask
+            level.append(itemset)
+
+    size = 2
+    while level and size <= max_size:
+        next_level: list[FrozenSet[int]] = []
+        for candidate in _generate_candidates(level, size):
+            base = min(
+                (frozenset(candidate - {item}) for item in candidate),
+                key=lambda subset: masks[subset].sum(),
+            )
+            extra_item = next(iter(candidate - base))
+            mask = masks[base] & item_masks[extra_item]
+            count = int(mask.sum())
+            if count >= min_count:
+                supports[candidate] = count / n_rows
+                masks[candidate] = mask
+                next_level.append(candidate)
+                if len(supports) > max_itemsets:
+                    raise RuntimeError(
+                        f"more than {max_itemsets} frequent itemsets; "
+                        "raise min_support or lower max_size"
+                    )
+        level = next_level
+        size += 1
+
+    return AprioriResult(supports, masks, n_rows)
+
+
+def itemset_to_items(binned: BinnedTable, itemset: FrozenSet[int]) -> FrozenSet[Tuple[str, str]]:
+    """Convert token ids back to (column, bin label) item pairs."""
+    items = []
+    for token_id in itemset:
+        column, bin_ = binned.bin_of_token(token_id)
+        items.append((column, bin_.label))
+    return frozenset(items)

@@ -1,0 +1,224 @@
+"""Rule mining facade (paper Section 6.1 "Metrics implementation").
+
+Defaults follow the paper: support 0.1, confidence 0.6, minimum rule size 3
+items.  When target columns are given, the table is split by the binned
+values of the targets and rules are mined over each stratum separately, each
+stratum contributing rules that conclude the target value; only rules that
+mention a target column are retained (the R* filter of Section 3.2).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+from repro.rules.apriori import (
+    AprioriResult,
+    itemset_to_items,
+    mine_frequent_itemsets,
+)
+from repro.rules.rule import AssociationRule
+
+DEFAULT_MIN_SUPPORT = 0.1
+DEFAULT_MIN_CONFIDENCE = 0.6
+DEFAULT_MIN_RULE_SIZE = 3
+DEFAULT_MAX_RULE_SIZE = 4
+DEFAULT_MIN_LIFT = 1.2
+
+
+class RuleMiner:
+    """Mines association rules from a binned table.
+
+    Parameters mirror the paper's experimental setup (Section 6.1); the
+    parameter-tuning experiment (Fig. 10) varies ``min_support`` and
+    ``min_confidence`` through this interface.
+
+    ``min_lift`` implements the paper's *prominence* requirement (footnote 3
+    points beyond support/confidence to interest measures a la Omiecinski
+    [24]): a rule must exhibit genuine dependence between its sides.  Real
+    tables contain near-constant columns — constant years, all-NaN delay
+    tails — whose bins co-occur with ~1.0 confidence purely by marginal
+    frequency; without a lift floor those combinations dominate the rule set
+    (tens of thousands of rules on FL) and the coverage metric degenerates
+    to counting columns.  A rule concluding a near-constant bin can still
+    survive through a different antecedent/consequent split of the same
+    itemset (coverage depends only on the itemset), so genuine patterns like
+    "long flights -> not cancelled" are retained via their informative
+    splits.  Set ``min_lift=None`` to disable.
+    """
+
+    def __init__(
+        self,
+        min_support: float = DEFAULT_MIN_SUPPORT,
+        min_confidence: float = DEFAULT_MIN_CONFIDENCE,
+        min_rule_size: int = DEFAULT_MIN_RULE_SIZE,
+        max_rule_size: int = DEFAULT_MAX_RULE_SIZE,
+        min_lift: "float | None" = DEFAULT_MIN_LIFT,
+    ):
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+        if min_rule_size < 2:
+            raise ValueError(f"min_rule_size must be >= 2, got {min_rule_size}")
+        if max_rule_size < min_rule_size:
+            raise ValueError("max_rule_size must be >= min_rule_size")
+        if min_lift is not None and min_lift <= 0:
+            raise ValueError(f"min_lift must be positive or None, got {min_lift}")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.min_rule_size = min_rule_size
+        self.max_rule_size = max_rule_size
+        self.min_lift = min_lift
+
+    # -- public API -----------------------------------------------------------
+    def mine(
+        self,
+        binned: BinnedTable,
+        targets: Optional[Sequence[str]] = None,
+    ) -> list[AssociationRule]:
+        """All rules meeting the thresholds; target-focused when requested."""
+        if targets:
+            return self._mine_with_targets(binned, list(targets))
+        result = mine_frequent_itemsets(
+            binned, min_support=self.min_support, max_size=self.max_rule_size
+        )
+        return self._rules_from_itemsets(binned, result)
+
+    # -- untargeted path ---------------------------------------------------------
+    def _rules_from_itemsets(
+        self, binned: BinnedTable, result: AprioriResult
+    ) -> list[AssociationRule]:
+        rules: list[AssociationRule] = []
+        seen: set[tuple] = set()
+        for size in range(self.min_rule_size, self.max_rule_size + 1):
+            for itemset in result.itemsets_of_size(size):
+                itemset_support = result.support(itemset)
+                for antecedent_size in range(1, size):
+                    for antecedent_ids in combinations(sorted(itemset), antecedent_size):
+                        antecedent = frozenset(antecedent_ids)
+                        if antecedent not in result.supports:
+                            continue
+                        confidence = itemset_support / result.support(antecedent)
+                        if confidence < self.min_confidence:
+                            continue
+                        consequent = itemset - antecedent
+                        consequent_support = result.supports.get(consequent)
+                        lift = (
+                            confidence / consequent_support
+                            if consequent_support
+                            else float("nan")
+                        )
+                        if self.min_lift is not None and not lift >= self.min_lift:
+                            continue
+                        key = (antecedent, frozenset(consequent))
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        rules.append(
+                            AssociationRule(
+                                antecedent=itemset_to_items(binned, antecedent),
+                                consequent=itemset_to_items(binned, consequent),
+                                support=itemset_support,
+                                confidence=confidence,
+                                lift=lift,
+                            )
+                        )
+        return rules
+
+    # -- target-focused path --------------------------------------------------
+    def _mine_with_targets(
+        self, binned: BinnedTable, targets: list[str]
+    ) -> list[AssociationRule]:
+        for target in targets:
+            binned.column_index(target)  # validate early
+
+        rules: list[AssociationRule] = []
+        n_rows = binned.n_rows
+        for target_items, stratum_mask in self._target_strata(binned, targets):
+            stratum_rows = np.flatnonzero(stratum_mask)
+            if len(stratum_rows) == 0:
+                continue
+            body_size = self.min_rule_size - len(target_items)
+            result = mine_frequent_itemsets(
+                binned,
+                min_support=self.min_support,
+                max_size=self.max_rule_size - len(target_items),
+                rows=stratum_rows,
+            )
+            stratum_support = len(stratum_rows) / n_rows
+            for itemset, support_in_stratum in result.supports.items():
+                if len(itemset) < max(1, body_size):
+                    continue
+                items = itemset_to_items(binned, itemset)
+                if any(column in targets for column, _ in items):
+                    continue
+                # Confidence of (body -> target value) over the full table:
+                # P(stratum | body) = |body ∧ stratum| / |body|.
+                body_mask = result.mask(itemset)  # already restricted to stratum
+                joint_count = int(body_mask.sum())
+                full_body_count = self._count_itemset(binned, items)
+                if full_body_count == 0:
+                    continue
+                confidence = joint_count / full_body_count
+                if confidence < self.min_confidence:
+                    continue
+                lift = (
+                    confidence / stratum_support if stratum_support else float("nan")
+                )
+                if self.min_lift is not None and not lift >= self.min_lift:
+                    continue
+                rules.append(
+                    AssociationRule(
+                        antecedent=items,
+                        consequent=frozenset(target_items),
+                        support=joint_count / n_rows,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+        return rules
+
+    def _target_strata(self, binned: BinnedTable, targets: list[str]):
+        """Yield ((target items), row mask) for every combination of target bins."""
+        per_target_options = []
+        for target in targets:
+            j = binned.column_index(target)
+            binning = binned.binning_of(target)
+            options = []
+            for bin_index, label in enumerate(binning.labels):
+                mask = binned.codes[:, j] == bin_index
+                if mask.any():
+                    options.append(((target, label), mask))
+            per_target_options.append(options)
+        for combo in product(*per_target_options):
+            items = [item for item, _ in combo]
+            mask = np.ones(binned.n_rows, dtype=bool)
+            for _, part in combo:
+                mask &= part
+            yield items, mask
+
+    @staticmethod
+    def _count_itemset(binned: BinnedTable, items) -> int:
+        mask = np.ones(binned.n_rows, dtype=bool)
+        for column, label in items:
+            j = binned.column_index(column)
+            bin_index = binned.binning_of(column).labels.index(label)
+            mask &= binned.codes[:, j] == bin_index
+        return int(mask.sum())
+
+
+def filter_rules_for_targets(
+    rules: Sequence[AssociationRule], targets: Optional[Sequence[str]]
+) -> list[AssociationRule]:
+    """The R* filter: keep rules mentioning at least one target column.
+
+    With no targets, all rules are retained (Section 3.2).
+    """
+    if not targets:
+        return list(rules)
+    targets = frozenset(targets)
+    return [rule for rule in rules if rule.uses_any_column(targets)]

@@ -1,0 +1,87 @@
+"""Association rules over binned tables (paper Definition 3.4).
+
+An item is a ``(column, bin label)`` pair; a rule states that rows whose
+cells fall in the antecedent bins also fall in the consequent bins, e.g.::
+
+    AIR_TIME=long, DISTANCE=long -> CANCELLED=0
+
+Rules are value-level in the paper's model, but Section 3.1 notes that
+binning first (replacing values by bin identifiers) yields rules that apply
+to many more tuples — that is the form we mine and evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+Item = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule with its quality statistics.
+
+    ``support`` is the fraction of table rows satisfying *all* items,
+    ``confidence`` is ``support(items) / support(antecedent)`` and ``lift``
+    is ``confidence / support(consequent)`` (``nan`` when undefined).
+    """
+
+    antecedent: FrozenSet[Item]
+    consequent: FrozenSet[Item]
+    support: float
+    confidence: float
+    lift: float = float("nan")
+
+    def __post_init__(self):
+        if not self.antecedent:
+            raise ValueError("rule antecedent must be non-empty")
+        if not self.consequent:
+            raise ValueError("rule consequent must be non-empty")
+        if self.antecedent & self.consequent:
+            raise ValueError("antecedent and consequent must be disjoint")
+
+    @cached_property
+    def items(self) -> FrozenSet[Item]:
+        """All items of the rule (antecedent plus consequent)."""
+        return self.antecedent | self.consequent
+
+    @cached_property
+    def columns(self) -> FrozenSet[str]:
+        """The set of columns the rule mentions (U_R in the paper)."""
+        return frozenset(column for column, _ in self.items)
+
+    @property
+    def size(self) -> int:
+        """Number of items in the rule."""
+        return len(self.antecedent) + len(self.consequent)
+
+    def uses_any_column(self, columns) -> bool:
+        """Whether the rule mentions at least one column from ``columns``."""
+        return bool(self.columns & frozenset(columns))
+
+    def holds_mask(self, binned) -> np.ndarray:
+        """Boolean mask over the rows of ``binned`` where the rule holds (T_R)."""
+        mask = np.ones(binned.n_rows, dtype=bool)
+        for column, label in self.items:
+            j = binned.column_index(column)
+            binning = binned.binning_of(column)
+            try:
+                bin_index = binning.labels.index(label)
+            except ValueError:
+                # The bin does not exist in this binning: rule never holds.
+                return np.zeros(binned.n_rows, dtype=bool)
+            mask &= binned.codes[:, j] == bin_index
+        return mask
+
+    def __str__(self) -> str:
+        def fmt(items):
+            return ", ".join(f"{c}={v}" for c, v in sorted(items))
+
+        return (
+            f"{fmt(self.antecedent)} -> {fmt(self.consequent)}"
+            f"  (supp={self.support:.3f}, conf={self.confidence:.3f})"
+        )

@@ -1,0 +1,35 @@
+"""Simulated user study (paper Table 1, Figure 5).
+
+Public surface::
+
+    from repro.study import SimulatedAnalyst, run_user_study, rate_subtable
+"""
+
+from repro.study.analyst import AnalystReport, SimulatedAnalyst
+from repro.study.insights import (
+    Insight,
+    InsightJudgement,
+    judge_insight,
+)
+from repro.study.ratings import (
+    QUESTIONS,
+    Ratings,
+    average_ratings,
+    rate_subtable,
+)
+from repro.study.user_study import StudyCell, UserStudyResult, run_user_study
+
+__all__ = [
+    "AnalystReport",
+    "Insight",
+    "InsightJudgement",
+    "QUESTIONS",
+    "Ratings",
+    "SimulatedAnalyst",
+    "StudyCell",
+    "UserStudyResult",
+    "average_ratings",
+    "judge_insight",
+    "rate_subtable",
+    "run_user_study",
+]

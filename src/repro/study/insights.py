@@ -1,0 +1,115 @@
+"""Insights: the unit of the user study (paper Section 6.2.1).
+
+An *insight* is a rule-like statement an analyst writes down after examining
+a sub-table, e.g. "songs with high danceability and high energy tend to be
+popular".  We model it as a pair/triple of (column, bin) conditions with an
+optional conclusion on a target column.
+
+Correctness is judged exactly as the paper judged participants ("we manually
+evaluated the correctness ... removed ones that were statistically
+incorrect"): an insight is *correct* when the full table statistically
+supports it — the condition is reasonably frequent and the conclusion holds
+with high confidence (or, for target-free insights, the conditions genuinely
+co-occur far above independence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.binning.pipeline import BinnedTable
+
+Item = Tuple[str, str]
+
+MIN_SUPPORT_CORRECT = 0.03
+MIN_CONFIDENCE_CORRECT = 0.6
+MIN_LIFT_CORRECT = 1.2
+
+
+@dataclass(frozen=True)
+class Insight:
+    """A conjunctive observation, optionally concluding a target value."""
+
+    conditions: FrozenSet[Item]
+    conclusion: Optional[Item] = None
+
+    def __post_init__(self):
+        if not self.conditions:
+            raise ValueError("an insight needs at least one condition")
+
+    @property
+    def items(self) -> FrozenSet[Item]:
+        if self.conclusion is None:
+            return self.conditions
+        return self.conditions | {self.conclusion}
+
+    def describe(self) -> str:
+        body = " AND ".join(f"{c}={v}" for c, v in sorted(self.conditions))
+        if self.conclusion is None:
+            return body
+        return f"{body} => {self.conclusion[0]}={self.conclusion[1]}"
+
+
+def _items_mask(binned: BinnedTable, items) -> np.ndarray:
+    mask = np.ones(binned.n_rows, dtype=bool)
+    for column, label in items:
+        j = binned.column_index(column)
+        try:
+            bin_index = binned.binning_of(column).labels.index(label)
+        except ValueError:
+            return np.zeros(binned.n_rows, dtype=bool)
+        mask &= binned.codes[:, j] == bin_index
+    return mask
+
+
+@dataclass(frozen=True)
+class InsightJudgement:
+    """The statistics used to accept or reject an insight."""
+
+    support: float
+    confidence: float
+    lift: float
+    correct: bool
+
+
+def judge_insight(
+    binned: BinnedTable,
+    insight: Insight,
+    min_support: float = MIN_SUPPORT_CORRECT,
+    min_confidence: float = MIN_CONFIDENCE_CORRECT,
+    min_lift: float = MIN_LIFT_CORRECT,
+) -> InsightJudgement:
+    """Score ``insight`` against the full table and decide correctness.
+
+    With a conclusion: correct iff P(conditions) >= min_support and
+    P(conclusion | conditions) >= min_confidence and lift >= min_lift.
+    Without one: correct iff the conditions co-occur with support >=
+    min_support and lift >= min_lift over the independence baseline.
+    """
+    n = binned.n_rows
+    condition_mask = _items_mask(binned, insight.conditions)
+    condition_support = condition_mask.sum() / n
+    if insight.conclusion is not None:
+        conclusion_mask = _items_mask(binned, [insight.conclusion])
+        joint = (condition_mask & conclusion_mask).sum() / n
+        confidence = joint / condition_support if condition_support > 0 else 0.0
+        base = conclusion_mask.sum() / n
+        lift = confidence / base if base > 0 else 0.0
+        correct = (
+            condition_support >= min_support
+            and confidence >= min_confidence
+            and lift >= min_lift
+        )
+        return InsightJudgement(condition_support, confidence, lift, correct)
+
+    # Target-free insight: conditions form a genuine pattern.
+    joint_support = condition_support
+    independent = 1.0
+    for item in insight.conditions:
+        independent *= _items_mask(binned, [item]).sum() / n
+    lift = joint_support / independent if independent > 0 else 0.0
+    correct = joint_support >= min_support and lift >= min_lift
+    return InsightJudgement(joint_support, 1.0, lift, correct)

@@ -1,0 +1,142 @@
+"""The simulated user study (paper Table 1 and Section 6.2.1).
+
+The paper recruited 15 participants, split them across baselines, and had
+each explore three datasets (SP, FL, BL), writing down insights which the
+authors then validated.  This module reproduces that protocol with
+simulated analysts (:mod:`repro.study.analyst`): each participant examines
+the sub-tables produced by one selector on each dataset's exploration task
+and reports insights, which are judged against the full table.
+
+Reported measures match Table 1's rows:
+
+* average number of *correct* insights per participant per dataset
+  (and the percentage of reported insights that were correct);
+* percentage of participants who produced *no* insights at all;
+* average number of total insights.
+
+This is a *simulation*, not a human study; what it preserves is the causal
+mechanism the paper credits — sub-tables that surface true patterns make
+readers derive true insights — under identical reading behaviour across
+selectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.study.analyst import SimulatedAnalyst
+from repro.study.insights import judge_insight
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+@dataclass
+class StudyCell:
+    """Raw per-(participant, dataset) outcome."""
+
+    selector: str
+    dataset: str
+    n_correct: int
+    n_total: int
+
+
+@dataclass
+class UserStudyResult:
+    """Aggregated Table-1 style measures for one selector."""
+
+    selector: str
+    cells: list = field(default_factory=list)
+
+    def add(self, cell: StudyCell) -> None:
+        self.cells.append(cell)
+
+    @property
+    def avg_correct_insights(self) -> float:
+        if not self.cells:
+            return 0.0
+        return float(np.mean([cell.n_correct for cell in self.cells]))
+
+    @property
+    def avg_total_insights(self) -> float:
+        if not self.cells:
+            return 0.0
+        return float(np.mean([cell.n_total for cell in self.cells]))
+
+    @property
+    def pct_correct(self) -> float:
+        """Percentage of reported insights that were judged correct."""
+        total = sum(cell.n_total for cell in self.cells)
+        if total == 0:
+            return 0.0
+        return 100.0 * sum(cell.n_correct for cell in self.cells) / total
+
+    @property
+    def pct_no_insights(self) -> float:
+        """Percentage of (participant, dataset) cells with zero insights."""
+        if not self.cells:
+            return 0.0
+        empty = sum(1 for cell in self.cells if cell.n_total == 0)
+        return 100.0 * empty / len(self.cells)
+
+
+def run_user_study(
+    selectors: dict,
+    datasets: Sequence,
+    binned_tables: dict,
+    n_participants: int = 15,
+    k: int = 10,
+    l: int = 10,
+    max_insights: int = 5,
+    seed=None,
+) -> dict[str, UserStudyResult]:
+    """Run the simulated study.
+
+    Parameters
+    ----------
+    selectors:
+        ``{name: prepared selector}`` — each must already have seen the full
+        table (``prepare``/``fit`` done), so the study measures selection
+        quality, not preparation.
+    datasets:
+        :class:`~repro.datasets.SyntheticDataset` objects (SP, FL, BL in the
+        paper's study).
+    binned_tables:
+        ``{dataset name: BinnedTable}`` — ground-truth binning used by both
+        the analysts (to abstract displayed values) and the judge.
+    n_participants:
+        Participants per selector (the paper splits 15 across 3 selectors;
+        we give every selector the full cohort for tighter estimates).
+    """
+    rng = ensure_rng(seed)
+    results: dict[str, UserStudyResult] = {}
+    for selector_name, selector in selectors.items():
+        result = UserStudyResult(selector=selector_name)
+        participant_rngs = spawn_rng(rng, n_participants)
+        for participant_rng in participant_rngs:
+            for dataset in datasets:
+                binned = binned_tables[dataset.name]
+                targets = dataset.target_columns
+                subtable = selector.select(k=k, l=l, targets=targets)
+                analyst = SimulatedAnalyst(
+                    binned,
+                    max_insights=max_insights,
+                    seed=participant_rng,
+                )
+                report = analyst.examine(subtable, targets=targets)
+                n_correct = sum(
+                    1
+                    for insight in report.insights
+                    if judge_insight(binned, insight).correct
+                )
+                result.add(
+                    StudyCell(
+                        selector=selector_name,
+                        dataset=dataset.name,
+                        n_correct=n_correct,
+                        n_total=report.n_insights,
+                    )
+                )
+        results[selector_name] = result
+    return results

@@ -1,0 +1,21 @@
+"""Shared low-level utilities: seeded randomness, timing, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    require,
+    require_positive_int,
+    require_in_range,
+    require_fraction,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "timed",
+    "require",
+    "require_positive_int",
+    "require_in_range",
+    "require_fraction",
+]

@@ -1,0 +1,44 @@
+"""Tiny timing helpers used by the experiment harness (Figures 7 and 9)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     pass
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Record the wall-clock duration of a block into ``sink[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = time.perf_counter() - start

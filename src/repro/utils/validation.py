@@ -1,0 +1,31 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_in_range(value, low, high, name: str) -> float:
+    """Validate ``low <= value <= high`` and return ``value`` as float."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_fraction(value, name: str) -> float:
+    """Validate that ``value`` lies in the closed unit interval."""
+    return require_in_range(value, 0.0, 1.0, name)

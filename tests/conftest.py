@@ -1,0 +1,60 @@
+"""Shared fixtures: a small planted-pattern dataset used across test modules.
+
+Session-scoped because SubTab's fit (Word2Vec training) is the slowest step
+in the suite; the fixture table is deliberately small but strongly patterned
+so pattern-recovery assertions are stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.binning import TableBinner, normalize_table
+from repro.core import SubTab, SubTabConfig
+from repro.embedding.word2vec import Word2VecConfig
+from repro.frame.frame import DataFrame
+
+
+def build_planted_frame(n: int = 600, seed: int = 0) -> DataFrame:
+    """Three archetypes + noise column; target-like OUTCOME column."""
+    rng = np.random.default_rng(seed)
+    group = rng.choice([0, 1, 2], size=n, p=[0.4, 0.35, 0.25])
+    size = np.where(group == 0, rng.normal(2000, 150, n),
+                    np.where(group == 1, rng.normal(300, 60, n),
+                             rng.normal(900, 100, n)))
+    speed = size / 8.0 + rng.normal(0, 10, n)
+    outcome = np.where(group == 1, 1.0, 0.0)
+    kind = np.where(group == 0, "alpha", np.where(group == 1, "beta", "gamma"))
+    noise = rng.normal(0, 1, n)
+    return DataFrame({
+        "SIZE": size,
+        "SPEED": speed,
+        "OUTCOME": outcome,
+        "KIND": list(kind),
+        "NOISE": noise,
+    })
+
+
+@pytest.fixture(scope="session")
+def planted_frame() -> DataFrame:
+    return build_planted_frame()
+
+
+@pytest.fixture(scope="session")
+def planted_binned(planted_frame):
+    return TableBinner(n_bins=4).bin_table(normalize_table(planted_frame))
+
+
+@pytest.fixture(scope="session")
+def fast_subtab_config() -> SubTabConfig:
+    return SubTabConfig(
+        k=5,
+        l=4,
+        n_bins=4,
+        seed=0,
+        word2vec=Word2VecConfig(epochs=3, dim=16),
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_subtab(planted_frame, fast_subtab_config):
+    return SubTab(fast_subtab_config).fit(planted_frame)

@@ -1,0 +1,66 @@
+"""Smoke tests for the experiment harness (small scales)."""
+
+import pytest
+
+from repro.bench import (
+    bench_rows,
+    format_bars,
+    format_series,
+    format_table,
+    load_bundle,
+    make_selector,
+    prepare_selectors,
+    scale_factor,
+)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table("Title", ["a", "b"], [[1, 0.5], ["x", 2.0]])
+        assert "Title" in text
+        assert "0.500" in text
+
+    def test_format_series_missing_cells(self):
+        text = format_series("S", "x", {"A": {1: 0.5}, "B": {2: 0.7}})
+        assert "-" in text
+
+    def test_format_bars(self):
+        text = format_bars("B", {"one": 1.0, "half": 0.5})
+        assert "#" in text
+
+    def test_format_bars_empty(self):
+        assert "no data" in format_bars("B", {})
+
+
+class TestHarness:
+    def test_scale_factor_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_scale_factor_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert bench_rows("cyber") == int(4000 * 2.5)
+
+    def test_scale_factor_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ValueError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_bundle_and_selectors(self):
+        bundle = load_bundle("cyber", n_rows=300, seed=0)
+        assert bundle.frame.n_rows == 300
+        scorer = bundle.scorer()
+        assert scorer is bundle.scorer()  # cached
+        selectors = prepare_selectors(bundle, ["subtab", "nc"], seed=0)
+        assert set(selectors.keys()) == {"SubTab", "NC"}
+        for selector in selectors.values():
+            result = selector.select(k=4, l=4)
+            assert result.shape == (4, 4)
+
+    def test_unknown_selector_kind(self):
+        bundle = load_bundle("cyber", n_rows=200, seed=0)
+        with pytest.raises(ValueError):
+            make_selector("nope", bundle)

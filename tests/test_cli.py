@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.frame.frame import DataFrame
+from repro.frame.io import to_csv
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("flights", "cyber", "spotify", "credit", "funds", "loans"):
+            assert name in out
+
+
+class TestShowCommand:
+    def test_show_synthetic_dataset(self, capsys):
+        code = main([
+            "show", "--dataset", "cyber", "--rows", "400",
+            "-k", "4", "-l", "4", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[4 rows x 4 columns]" in out
+        assert "ATTACK_TYPE" in out  # default target forced in
+
+    def test_show_csv(self, tmp_path, capsys, planted_frame):
+        path = tmp_path / "table.csv"
+        to_csv(planted_frame, path)
+        code = main(["show", "--csv", str(path), "-k", "3", "-l", "3"])
+        assert code == 0
+        assert "[3 rows x 3 columns]" in capsys.readouterr().out
+
+    def test_show_with_explicit_targets(self, capsys):
+        code = main([
+            "show", "--dataset", "cyber", "--rows", "300",
+            "-k", "3", "-l", "3", "--targets", "SERVICE",
+        ])
+        assert code == 0
+        assert "SERVICE" in capsys.readouterr().out
+
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["show"])
+
+
+class TestExperimentCommand:
+    def test_fig8_small(self, capsys):
+        code = main(["experiment", "fig8", "--rows", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "SubTab" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,127 @@
+"""Unit + property tests for KMeans and representative selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    KMeans,
+    MEDOID,
+    NEAREST,
+    RANDOM_MEMBER,
+    select_representatives,
+)
+from repro.cluster.centroids import SALIENT
+
+
+def two_blobs(n_per: int = 30, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    left = rng.normal(0.0, 0.3, size=(n_per, 2))
+    right = rng.normal(10.0, 0.3, size=(n_per, 2))
+    return np.vstack([left, right])
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        points = two_blobs()
+        result = KMeans(n_clusters=2, seed=0).fit(points)
+        labels = result.labels
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_inertia_decreases_with_k(self):
+        points = two_blobs()
+        inertia_1 = KMeans(n_clusters=1, seed=0).fit(points).inertia
+        inertia_2 = KMeans(n_clusters=2, seed=0).fit(points).inertia
+        assert inertia_2 < inertia_1
+
+    def test_k_clamped_to_n(self):
+        points = np.array([[0.0], [1.0]])
+        result = KMeans(n_clusters=5, seed=0).fit(points)
+        assert result.k == 2
+
+    def test_duplicate_points(self):
+        points = np.zeros((10, 3))
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=1).fit(np.empty((0, 2)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=1).fit(np.array([[np.nan]]))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_deterministic_with_seed(self):
+        points = two_blobs()
+        a = KMeans(n_clusters=2, seed=42).fit(points)
+        b = KMeans(n_clusters=2, seed=42).fit(points)
+        assert np.array_equal(a.labels, b.labels)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=8),
+        dim=st.integers(min_value=1, max_value=4),
+    )
+    def test_invariants_property(self, n, k, dim):
+        rng = np.random.default_rng(n * 100 + k)
+        points = rng.normal(size=(n, dim))
+        result = KMeans(n_clusters=k, seed=0).fit(points)
+        assert result.labels.shape == (n,)
+        assert result.centers.shape[0] == min(k, n)
+        assert result.inertia >= 0.0
+        # every label refers to an existing center
+        assert result.labels.max() < result.centers.shape[0]
+
+
+class TestSelectRepresentatives:
+    @pytest.mark.parametrize("mode", [NEAREST, MEDOID, RANDOM_MEMBER, SALIENT])
+    def test_exactly_k_distinct(self, mode):
+        points = two_blobs()
+        chosen = select_representatives(points, 5, mode=mode, seed=0)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_one_per_blob_for_k2(self):
+        points = two_blobs()
+        chosen = select_representatives(points, 2, seed=0)
+        sides = {int(points[i][0] > 5) for i in chosen}
+        assert sides == {0, 1}
+
+    def test_k_larger_than_n(self):
+        points = np.array([[0.0], [1.0]])
+        assert select_representatives(points, 5, seed=0) == [0, 1]
+
+    def test_empty_points(self):
+        assert select_representatives(np.empty((0, 2)), 3, seed=0) == []
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            select_representatives(two_blobs(), 2, mode="nope")
+
+    def test_representative_is_cluster_member(self):
+        points = two_blobs()
+        chosen = select_representatives(points, 2, seed=0)
+        for index in chosen:
+            assert 0 <= index < len(points)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_count_property(self, n, k):
+        rng = np.random.default_rng(n + k)
+        points = rng.normal(size=(n, 3))
+        chosen = select_representatives(points, k, seed=0)
+        assert len(chosen) == min(k, n)
+        assert len(set(chosen)) == len(chosen)
+        assert chosen == sorted(chosen)

@@ -1,0 +1,89 @@
+"""Tests for rule highlighting and the exploration-session hook."""
+
+import pytest
+
+from repro.core import ExplorationSession, RuleHighlighter, SubTabConfig, explore
+from repro.core.highlight import ANSI_RESET
+from repro.core.result import subtable_from_selection
+from repro.embedding.word2vec import Word2VecConfig
+from repro.metrics import SubTableScorer
+from repro.queries import Eq, SPQuery
+from repro.rules import RuleMiner
+
+
+@pytest.fixture(scope="module")
+def scorer(planted_binned):
+    miner = RuleMiner(min_support=0.15, min_confidence=0.5,
+                      min_rule_size=2, min_lift=None)
+    return SubTableScorer(planted_binned, miner=miner)
+
+
+class TestHighlighter:
+    def test_highlights_covered_rule_cells(self, planted_binned, scorer):
+        # rows 0..9 over all columns: patterns abound in the planted data
+        subtable = subtable_from_selection(
+            planted_binned.frame, list(range(10)), planted_binned.columns
+        )
+        highlighter = RuleHighlighter(scorer.evaluator, subtable)
+        rendered = highlighter.render()
+        assert ANSI_RESET in rendered  # something was colored
+        assert "Highlighted rules" in rendered
+
+    def test_at_most_one_rule_per_row(self, planted_binned, scorer):
+        subtable = subtable_from_selection(
+            planted_binned.frame, list(range(8)), planted_binned.columns
+        )
+        highlighter = RuleHighlighter(scorer.evaluator, subtable)
+        for position in range(8):
+            rule = highlighter.rule_for_row(position)
+            if rule is not None:
+                assert rule.columns <= set(subtable.columns)
+
+    def test_decorate_leaves_non_rule_cells(self, planted_binned, scorer):
+        subtable = subtable_from_selection(
+            planted_binned.frame, list(range(5)), planted_binned.columns
+        )
+        highlighter = RuleHighlighter(scorer.evaluator, subtable)
+        # a cell in a column outside every rule keeps its text untouched
+        noise_col = subtable.columns.index("NOISE")
+        assert highlighter.decorate(0, noise_col, "text") == "text"
+
+    def test_no_rules_renders_plain(self, planted_binned):
+        subtable = subtable_from_selection(
+            planted_binned.frame, [0, 1], planted_binned.columns
+        )
+        scorer = SubTableScorer(planted_binned, rules=[])
+        highlighter = RuleHighlighter(scorer.evaluator, subtable)
+        assert ANSI_RESET not in highlighter.render()
+
+
+class TestExplorationSession:
+    @pytest.fixture(scope="class")
+    def session(self, planted_frame):
+        config = SubTabConfig(k=4, l=3, seed=0,
+                              word2vec=Word2VecConfig(epochs=2, dim=8))
+        return ExplorationSession(planted_frame, config)
+
+    def test_subtable_dimensions(self, session):
+        assert session.subtable().shape == (4, 3)
+
+    def test_show_returns_rendered_text(self, session, capsys):
+        text = session.show()
+        captured = capsys.readouterr()
+        assert text in captured.out
+        assert "rows x" in text
+
+    def test_show_with_query(self, session):
+        query = SPQuery([Eq("KIND", "alpha")])
+        text = session.show(query=query, k=2, l=2)
+        assert "[2 rows x 2 columns]" in text
+
+    def test_show_with_highlighting(self, session):
+        text = session.show(highlight_rules=True)
+        assert isinstance(text, str)
+
+    def test_explore_factory(self, planted_frame):
+        config = SubTabConfig(k=2, l=2, seed=0,
+                              word2vec=Word2VecConfig(epochs=1, dim=8))
+        session = explore(planted_frame, config)
+        assert session.subtable().shape == (2, 2)

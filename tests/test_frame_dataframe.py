@@ -1,0 +1,148 @@
+"""Unit tests for repro.frame.frame (DataFrame and GroupBy)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "num": [3.0, 1.0, 2.0, None],
+            "cat": ["b", "a", "b", "c"],
+            "other": [10.0, 20.0, 30.0, 40.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_shape(self, frame):
+        assert frame.shape == (4, 3)
+
+    def test_column_order_preserved(self, frame):
+        assert frame.columns == ["num", "cat", "other"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DataFrame([Column("a", [1.0]), Column("a", [2.0])])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_empty_frame(self):
+        frame = DataFrame({})
+        assert frame.shape == (0, 0)
+
+    def test_unknown_column_raises_keyerror(self, frame):
+        with pytest.raises(KeyError):
+            frame.column("nope")
+
+
+class TestRelationalOps:
+    def test_project_keeps_order(self, frame):
+        assert frame.project(["cat", "num"]).columns == ["cat", "num"]
+
+    def test_project_unknown_raises(self, frame):
+        with pytest.raises(KeyError):
+            frame.project(["nope"])
+
+    def test_drop(self, frame):
+        assert frame.drop(["cat"]).columns == ["num", "other"]
+
+    def test_take(self, frame):
+        taken = frame.take([1, 3])
+        assert taken.n_rows == 2
+        assert taken.column("cat")[0] == "a"
+
+    def test_filter_with_mask(self, frame):
+        mask = np.array([True, False, True, False])
+        assert frame.filter(mask).n_rows == 2
+
+    def test_filter_with_predicate(self, frame):
+        kept = frame.filter(lambda row: row["cat"] == "b")
+        assert kept.n_rows == 2
+
+    def test_sort_numeric_missing_last(self, frame):
+        ordered = frame.sort_by("num")
+        values = list(ordered.column("num").values)
+        assert values[:3] == [1.0, 2.0, 3.0]
+        assert math.isnan(values[3])
+
+    def test_sort_descending(self, frame):
+        ordered = frame.sort_by("num", ascending=False)
+        assert list(ordered.column("num").values)[:3] == [3.0, 2.0, 1.0]
+
+    def test_sort_categorical(self, frame):
+        ordered = frame.sort_by("cat")
+        assert list(ordered.column("cat").values) == ["a", "b", "b", "c"]
+
+    def test_head_tail(self, frame):
+        assert frame.head(2).n_rows == 2
+        assert frame.tail(2).column("cat")[1] == "c"
+
+    def test_sample_without_replacement(self, frame):
+        sampled = frame.sample(3, seed=0)
+        assert sampled.n_rows == 3
+
+    def test_sample_too_large_raises(self, frame):
+        with pytest.raises(ValueError):
+            frame.sample(10, seed=0)
+
+    def test_concat_rows(self, frame):
+        doubled = frame.concat_rows(frame)
+        assert doubled.n_rows == 8
+
+    def test_concat_schema_mismatch(self, frame):
+        with pytest.raises(ValueError):
+            frame.concat_rows(frame.project(["num"]))
+
+    def test_with_column_replaces(self, frame):
+        replaced = frame.with_column(Column("num", [0.0] * 4))
+        assert replaced.column("num")[0] == 0.0
+        assert replaced.n_cols == 3
+
+
+class TestGroupBy:
+    def test_group_count(self, frame):
+        result = frame.group_by("cat").agg({"other": "count"})
+        by_key = dict(zip(result.column("cat").values, result.column("other_count").values))
+        assert by_key == {"a": 1, "b": 2, "c": 1}
+
+    def test_group_mean_skips_missing(self, frame):
+        result = frame.group_by("cat").agg({"num": "mean"})
+        by_key = dict(zip(result.column("cat").values, result.column("num_mean").values))
+        assert by_key["b"] == 2.5
+
+    def test_missing_key_forms_group(self):
+        frame = DataFrame({"k": ["a", None], "v": [1.0, 2.0]})
+        assert frame.group_by("k").n_groups == 2
+
+    def test_multi_key(self, frame):
+        grouped = frame.group_by(["cat", "other"])
+        assert grouped.n_groups == 4
+
+    def test_nunique(self, frame):
+        result = frame.group_by("cat").agg({"other": "nunique"})
+        assert result.column("other_nunique")[0] == 1
+
+    def test_numeric_agg_on_categorical_raises(self, frame):
+        with pytest.raises(TypeError):
+            frame.group_by("num").agg({"cat": "mean"})
+
+    def test_unknown_agg_raises(self, frame):
+        with pytest.raises(ValueError):
+            frame.group_by("cat").agg({"num": "median"})
+
+
+class TestEquality:
+    def test_roundtrip_identity(self, frame):
+        assert frame == frame.take(range(frame.n_rows))
+
+    def test_column_order_matters(self, frame):
+        assert frame != frame.project(["cat", "num", "other"])

@@ -1,0 +1,119 @@
+"""Property tests for the hardness reductions (Propositions 4.1, 4.2)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import TableBinner
+from repro.frame.frame import DataFrame
+from repro.hardness import (
+    brute_force_max_coverage_rows,
+    brute_force_opt_subtable,
+    decide_cell_cover,
+    dominating_set_to_cell_cover,
+    has_dominating_set,
+    has_vertex_cover,
+    vertex_cover_to_cell_cover,
+)
+from repro.metrics import SubTableScorer
+from repro.rules import RuleMiner
+
+
+def random_graph(n_nodes: int, edge_seed: int, p: float = 0.4) -> nx.Graph:
+    return nx.gnp_random_graph(n_nodes, p, seed=edge_seed)
+
+
+def random_degree3_graph(n_nodes: int, seed: int) -> nx.Graph:
+    graph = nx.random_regular_graph(min(3, max(0, n_nodes - 1)), n_nodes, seed=seed) \
+        if n_nodes >= 4 and n_nodes % 2 == 0 else nx.path_graph(n_nodes)
+    return graph
+
+
+class TestDominatingSetReduction:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=1, max_value=7),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_equivalence(self, n_nodes, k, seed):
+        """G has a dominating set of size k iff the instance is satisfiable."""
+        graph = random_graph(n_nodes, seed)
+        instance = dominating_set_to_cell_cover(graph, k)
+        witness = decide_cell_cover(instance)
+        assert (witness is not None) == has_dominating_set(graph, k)
+
+    def test_witness_is_dominating_set(self):
+        graph = nx.cycle_graph(6)
+        instance = dominating_set_to_cell_cover(graph, 2)
+        witness = decide_cell_cover(instance)
+        assert witness is not None
+        dominated = set(witness)
+        for v in witness:
+            dominated.update(graph.neighbors(v))
+        assert dominated == set(graph.nodes)
+
+
+class TestVertexCoverReduction:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=8),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_equivalence_on_paths_and_cycles(self, n_nodes, k, seed):
+        graph = nx.path_graph(n_nodes) if seed % 2 == 0 else nx.cycle_graph(n_nodes)
+        instance = vertex_cover_to_cell_cover(graph, k)
+        witness = decide_cell_cover(instance)
+        assert (witness is not None) == has_vertex_cover(graph, k)
+
+    def test_five_attributes_suffice(self):
+        graph = random_degree3_graph(8, seed=1)
+        instance = vertex_cover_to_cell_cover(graph, 3)
+        assert instance.table.shape[1] == 5
+
+    def test_degree_bound_enforced(self):
+        graph = nx.star_graph(5)  # center has degree 5
+        with pytest.raises(ValueError):
+            vertex_cover_to_cell_cover(graph, 2)
+
+
+class TestBruteForce:
+    @pytest.fixture(scope="class")
+    def tiny_scorer(self):
+        frame = DataFrame({
+            "A": ["x", "x", "y", "y", "x"],
+            "B": ["p", "p", "q", "q", "q"],
+            "C": ["1", "2", "1", "2", "1"],
+        })
+        binned = TableBinner().bin_table(frame)
+        miner = RuleMiner(min_support=0.2, min_confidence=0.4,
+                          min_rule_size=2, min_lift=None)
+        return SubTableScorer(binned, miner=miner)
+
+    def test_optimum_dominates_everything(self, tiny_scorer):
+        from itertools import combinations
+
+        best = brute_force_opt_subtable(tiny_scorer, k=2, l=2)
+        for rows in combinations(range(5), 2):
+            for cols in combinations(["A", "B", "C"], 2):
+                assert best.combined >= tiny_scorer.combined(list(rows), list(cols)) - 1e-12
+
+    def test_greedy_respects_approximation_bound(self, tiny_scorer):
+        """Greedy rows achieve >= (1 - 1/e) of the optimal coverage."""
+        from repro.baselines.greedy import greedy_row_selection
+
+        columns = ["A", "B"]
+        _, optimal = brute_force_max_coverage_rows(tiny_scorer, columns, k=2)
+        _, greedy = greedy_row_selection(tiny_scorer.evaluator, columns, 2)
+        assert greedy >= (1 - 1 / 2.718281828) * optimal - 1e-12
+
+    def test_targets_forced_into_optimum(self, tiny_scorer):
+        best = brute_force_opt_subtable(tiny_scorer, k=2, l=2, targets=["C"])
+        assert "C" in best.columns
+
+    def test_enumeration_cap(self, planted_binned):
+        scorer = SubTableScorer(planted_binned, rules=[])
+        with pytest.raises(ValueError):
+            brute_force_opt_subtable(scorer, k=10, l=4)

@@ -1,0 +1,246 @@
+"""Unit + property tests for cell coverage, diversity and the combined score.
+
+Includes the paper's worked example (Figure 3 / Examples 3.8-3.9), which
+pins the metric implementation to the published numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import TableBinner
+from repro.frame.frame import DataFrame
+from repro.metrics import (
+    CoverageEvaluator,
+    IncrementalCoverage,
+    SubTableScorer,
+    combined_score,
+    diversity,
+    diversity_of_codes,
+)
+from repro.rules import AssociationRule, RuleMiner
+
+
+def paper_example_table() -> DataFrame:
+    """The 8-row table of Figure 3 (values are already bin names)."""
+    return DataFrame({
+        "CANCELLED": ["1", "1", "1", "1", "0", "0", "0", "0"],
+        "DEP_TIME": [None, None, None, None, "morning", "morning",
+                     "evening", "evening"],
+        "YEAR": ["2015", "2015", "2015", "2015", "2016", "2015", "2015", "2015"],
+        "SCHED_DEP": ["afternoon", "afternoon", "morning", "morning",
+                      "morning", "morning", "evening", "afternoon"],
+        "DISTANCE": ["short", "medium", "medium", "short", "medium",
+                     "medium", "long", "long"],
+    })
+
+
+@pytest.fixture
+def paper_binned():
+    return TableBinner().bin_table(paper_example_table())
+
+
+@pytest.fixture
+def paper_rules(paper_binned):
+    """All rules with >= 2 columns holding for >= 2 rows (as in Section 3.2).
+
+    The paper's example takes R to be rules with CANCELLED on the right and
+    at least two columns on the left that hold for at least two rows.
+    """
+    miner = RuleMiner(
+        min_support=2 / 8, min_confidence=0.01, min_rule_size=3,
+        max_rule_size=4, min_lift=None,
+    )
+    rules = miner.mine(paper_binned)
+    return [
+        rule for rule in rules
+        if len(rule.consequent) == 1
+        and next(iter(rule.consequent))[0] == "CANCELLED"
+        and len(rule.antecedent) >= 2
+    ]
+
+
+class TestPaperExample:
+    def test_diversity_example_3_8(self, paper_binned):
+        # sub-table T(1): rows 1, 5, 7 over CANCELLED, DEP_TIME, YEAR, DISTANCE
+        columns = ["CANCELLED", "DEP_TIME", "YEAR", "DISTANCE"]
+        value = diversity(paper_binned, [0, 4, 6], columns)
+        assert value == pytest.approx(1 - np.mean([0.25, 0.0, 0.25]))
+
+    def test_diversity_example_t3(self, paper_binned):
+        # sub-table T(3): rows 1, 5, 7 over CANCELLED, DEP_TIME, SCHED_DEP, DISTANCE
+        columns = ["CANCELLED", "DEP_TIME", "SCHED_DEP", "DISTANCE"]
+        value = diversity(paper_binned, [0, 4, 6], columns)
+        assert value == pytest.approx(1 - np.mean([0.0, 0.0, 0.25]))
+
+    def test_cell_coverage_ordering_of_example_subtables(
+        self, paper_binned, paper_rules
+    ):
+        """T(1) describes more cells than T(2) (28 vs 26 in the paper)."""
+        evaluator = CoverageEvaluator(paper_binned, paper_rules)
+        rows = [0, 4, 6]
+        t1_columns = ["CANCELLED", "DEP_TIME", "YEAR", "DISTANCE"]
+        t2_columns = ["CANCELLED", "DEP_TIME", "YEAR", "SCHED_DEP"]
+        t1 = evaluator.covered_cell_count(rows, t1_columns)
+        t2 = evaluator.covered_cell_count(rows, t2_columns)
+        assert t1 > t2
+
+
+class TestCoverageEvaluator:
+    def make_simple(self):
+        frame = DataFrame({
+            "A": ["x", "x", "y", "y"],
+            "B": ["p", "p", "q", "q"],
+            "C": ["1", "1", "2", "3"],
+        })
+        binned = TableBinner().bin_table(frame)
+        rule = AssociationRule(
+            frozenset({("A", "x")}), frozenset({("B", "p")}), 0.5, 1.0
+        )
+        return binned, [rule]
+
+    def test_covered_when_columns_and_row_present(self):
+        binned, rules = self.make_simple()
+        evaluator = CoverageEvaluator(binned, rules)
+        assert evaluator.coverage([0], ["A", "B"]) == 1.0
+
+    def test_not_covered_without_columns(self):
+        binned, rules = self.make_simple()
+        evaluator = CoverageEvaluator(binned, rules)
+        assert evaluator.coverage([0], ["A", "C"]) == 0.0
+
+    def test_not_covered_without_holding_row(self):
+        binned, rules = self.make_simple()
+        evaluator = CoverageEvaluator(binned, rules)
+        assert evaluator.coverage([2, 3], ["A", "B"]) == 0.0
+
+    def test_upcov_is_union(self):
+        binned, rules = self.make_simple()
+        evaluator = CoverageEvaluator(binned, rules)
+        # rule holds for rows 0,1 over columns A,B -> 4 cells
+        assert evaluator.upcov == 4
+
+    def test_duplicate_itemsets_share_pattern(self):
+        binned, _ = self.make_simple()
+        rule_ab = AssociationRule(
+            frozenset({("A", "x")}), frozenset({("B", "p")}), 0.5, 1.0
+        )
+        rule_ba = AssociationRule(
+            frozenset({("B", "p")}), frozenset({("A", "x")}), 0.5, 1.0
+        )
+        evaluator = CoverageEvaluator(binned, [rule_ab, rule_ba])
+        assert evaluator.n_patterns == 1
+        assert len(evaluator.covered_rules([0], ["A", "B"])) == 2
+
+    def test_empty_rules(self):
+        binned, _ = self.make_simple()
+        evaluator = CoverageEvaluator(binned, [])
+        assert evaluator.upcov == 0
+        assert evaluator.coverage([0], ["A"]) == 0.0
+
+
+class TestDiversity:
+    def test_identical_rows_zero_diversity(self):
+        codes = np.zeros((3, 4), dtype=int)
+        assert diversity_of_codes(codes) == 0.0
+
+    def test_distinct_rows_full_diversity(self):
+        codes = np.arange(12).reshape(3, 4)
+        assert diversity_of_codes(codes) == 1.0
+
+    def test_single_row_is_zero(self):
+        assert diversity_of_codes(np.zeros((1, 3), dtype=int)) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        codes=st.lists(
+            st.lists(st.integers(min_value=0, max_value=3), min_size=3, max_size=3),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_bounds_property(self, codes):
+        value = diversity_of_codes(np.array(codes))
+        assert 0.0 <= value <= 1.0
+
+
+class TestIncrementalCoverage:
+    def test_matches_batch_evaluator(self):
+        rng = np.random.default_rng(0)
+        frame = DataFrame({
+            "A": list(rng.choice(["x", "y", "z"], size=60)),
+            "B": list(rng.choice(["p", "q"], size=60)),
+            "C": list(rng.choice(["1", "2"], size=60)),
+        })
+        binned = TableBinner().bin_table(frame)
+        rules = RuleMiner(min_support=0.05, min_confidence=0.2,
+                          min_rule_size=2, min_lift=None).mine(binned)
+        evaluator = CoverageEvaluator(binned, rules)
+        columns = ["A", "B"]
+        incremental = IncrementalCoverage(evaluator, columns)
+        chosen = []
+        for row in [0, 7, 23, 41]:
+            gain_preview = incremental.gain(row)
+            realized = incremental.add(row)
+            assert gain_preview == realized
+            chosen.append(row)
+            assert incremental.covered_cells == evaluator.covered_cell_count(
+                chosen, columns
+            )
+
+    def test_monotonicity_and_submodularity(self):
+        """cellCov is monotone and submodular in rows for fixed columns."""
+        rng = np.random.default_rng(1)
+        frame = DataFrame({
+            "A": list(rng.choice(["x", "y"], size=40)),
+            "B": list(rng.choice(["p", "q"], size=40)),
+        })
+        binned = TableBinner().bin_table(frame)
+        rules = RuleMiner(min_support=0.05, min_confidence=0.1,
+                          min_rule_size=2, min_lift=None).mine(binned)
+        evaluator = CoverageEvaluator(binned, rules)
+        columns = ["A", "B"]
+        candidate = 13
+        small, large = [0], [0, 5, 9]
+        cov = evaluator.covered_cell_count
+        # monotone
+        assert cov(large, columns) >= cov(small, columns)
+        # submodular: marginal gain shrinks as the set grows
+        gain_small = cov(small + [candidate], columns) - cov(small, columns)
+        gain_large = cov(large + [candidate], columns) - cov(large, columns)
+        assert gain_small >= gain_large
+
+
+class TestCombined:
+    def test_equation_3(self):
+        assert combined_score(0.8, 0.4, alpha=0.5) == pytest.approx(0.6)
+        assert combined_score(0.8, 0.4, alpha=1.0) == pytest.approx(0.8)
+        assert combined_score(0.8, 0.4, alpha=0.0) == pytest.approx(0.4)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            combined_score(0.5, 0.5, alpha=1.5)
+
+    def test_scorer_targets_must_be_selected(self):
+        frame = paper_example_table()
+        binned = TableBinner().bin_table(frame)
+        scorer = SubTableScorer(binned, targets=["CANCELLED"],
+                                miner=RuleMiner(min_support=0.2,
+                                                min_confidence=0.5,
+                                                min_rule_size=2,
+                                                min_lift=None))
+        scores = scorer.score([0, 4], ["DEP_TIME", "YEAR"])
+        assert scores.cell_coverage == 0.0  # target column missing
+
+    def test_scorer_scores_in_bounds(self):
+        frame = paper_example_table()
+        binned = TableBinner().bin_table(frame)
+        scorer = SubTableScorer(binned, miner=RuleMiner(min_support=0.2,
+                                                        min_confidence=0.3,
+                                                        min_rule_size=2,
+                                                        min_lift=None))
+        scores = scorer.score([0, 4, 6], list(frame.columns))
+        assert 0.0 <= scores.cell_coverage <= 1.0
+        assert 0.0 <= scores.diversity <= 1.0
+        assert 0.0 <= scores.combined <= 1.0

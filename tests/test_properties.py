@@ -1,0 +1,163 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import TableBinner
+from repro.core.fairness import GroupRepresentation, enforce_representation, is_fair
+from repro.core.selection import _allocate_by_mass, column_dispersions
+from repro.embedding.model import CellEmbeddingModel
+from repro.embedding.word2vec import sample_training_pairs
+from repro.frame.frame import DataFrame
+from repro.metrics import CoverageEvaluator, SubTableScorer
+from repro.rules import RuleMiner
+
+
+# ---------------------------------------------------------------------------
+# Coverage metric invariants over random tables and random rule sets
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_binned(draw):
+    n = draw(st.integers(min_value=4, max_value=30))
+    col_a = draw(st.lists(st.sampled_from("abc"), min_size=n, max_size=n))
+    col_b = draw(st.lists(st.sampled_from("pq"), min_size=n, max_size=n))
+    col_c = draw(st.lists(st.sampled_from("xyz"), min_size=n, max_size=n))
+    frame = DataFrame({"A": col_a, "B": col_b, "C": col_c})
+    return TableBinner().bin_table(frame)
+
+
+@settings(max_examples=25, deadline=None)
+@given(binned=random_binned(), seed=st.integers(min_value=0, max_value=99))
+def test_coverage_bounds_and_monotonicity(binned, seed):
+    miner = RuleMiner(min_support=0.15, min_confidence=0.3,
+                      min_rule_size=2, min_lift=None)
+    rules = miner.mine(binned)
+    evaluator = CoverageEvaluator(binned, rules)
+    rng = np.random.default_rng(seed)
+    columns = list(binned.columns)
+    rows_small = sorted(rng.choice(binned.n_rows, size=2, replace=False).tolist())
+    rows_large = sorted(set(rows_small) | set(
+        rng.choice(binned.n_rows, size=2, replace=False).tolist()
+    ))
+    cov_small = evaluator.coverage(rows_small, columns)
+    cov_large = evaluator.coverage(rows_large, columns)
+    assert 0.0 <= cov_small <= cov_large <= 1.0
+    # coverage is monotone in columns as well
+    cov_fewer_cols = evaluator.coverage(rows_large, columns[:2])
+    assert cov_fewer_cols <= cov_large + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(binned=random_binned())
+def test_combined_score_bounds(binned):
+    miner = RuleMiner(min_support=0.2, min_confidence=0.3,
+                      min_rule_size=2, min_lift=None)
+    scorer = SubTableScorer(binned, miner=miner)
+    scores = scorer.score([0, 1, 2], list(binned.columns))
+    assert 0.0 <= scores.cell_coverage <= 1.0
+    assert 0.0 <= scores.diversity <= 1.0
+    assert min(scores.cell_coverage, scores.diversity) <= scores.combined
+    assert scores.combined <= max(scores.cell_coverage, scores.diversity)
+
+
+# ---------------------------------------------------------------------------
+# Budget allocation (shared by column and row stages)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    masses=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=10),
+    total=st.integers(min_value=0, max_value=20),
+)
+def test_allocate_by_mass_properties(masses, total):
+    masses = np.array(masses)
+    quotas = _allocate_by_mass(masses, total)
+    assert quotas.sum() == total
+    assert (quotas >= 0).all()
+    if masses.sum() > 0 and total > 0:
+        # the largest-mass cluster never gets fewer slots than the smallest
+        assert quotas[masses.argmax()] >= quotas[masses.argmin()]
+
+
+# ---------------------------------------------------------------------------
+# Column dispersion
+# ---------------------------------------------------------------------------
+
+def test_dispersion_zero_for_constant_column():
+    frame = DataFrame({
+        "const": ["k"] * 30,
+        "varied": [str(i % 5) for i in range(30)],
+    })
+    binned = TableBinner().bin_table(frame)
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(binned.n_tokens, 8))
+    model = CellEmbeddingModel(vectors, binned.vocab)
+    dispersion = column_dispersions(binned, model)
+    names = binned.columns
+    assert dispersion[names.index("const")] == pytest.approx(0.0)
+    assert dispersion[names.index("varied")] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Word2Vec pair sampling
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=12),
+                     min_size=1, max_size=10),
+    samples=st.integers(min_value=1, max_value=6),
+)
+def test_pair_sampling_properties(lengths, samples):
+    rng = np.random.default_rng(0)
+    offset = 0
+    sentences = []
+    spans = []
+    for length in lengths:
+        sentences.append(np.arange(offset, offset + length))
+        spans.append((offset, offset + length))
+        offset += length
+    pairs = sample_training_pairs(sentences, samples, 10_000, rng)
+    # center and context always come from the same sentence and differ
+    for center, context in pairs:
+        span = next(s for s in spans if s[0] <= center < s[1])
+        assert span[0] <= context < span[1]
+        assert center != context
+    # sentences shorter than 2 contribute nothing
+    expected_max = sum(length * samples for length in lengths if length >= 2)
+    assert len(pairs) <= expected_max
+
+
+# ---------------------------------------------------------------------------
+# Fairness repair
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    k=st.integers(min_value=3, max_value=8),
+)
+def test_fairness_repair_properties(seed, k):
+    rng = np.random.default_rng(seed)
+    n = 60
+    groups = rng.choice(["g1", "g2", "g3"], size=n, p=[0.5, 0.3, 0.2])
+    frame = DataFrame({
+        "GROUP": list(groups),
+        "X": rng.normal(size=n),
+    })
+    binned = TableBinner().bin_table(frame)
+    vectors = rng.normal(size=(n, 4))
+    constraint = GroupRepresentation("GROUP", min_group_share=0.05)
+    start = sorted(rng.choice(n, size=k, replace=False).tolist())
+    repaired = enforce_representation(binned, start, vectors, constraint)
+    # size preserved, rows distinct and valid
+    assert len(repaired) == k
+    assert len(set(repaired)) == k
+    assert all(0 <= i < n for i in repaired)
+    # with budget >= #groups the repair must succeed
+    if k >= 3:
+        assert is_fair(binned, repaired, constraint)

@@ -1,0 +1,114 @@
+"""Unit + property tests for Apriori itemset mining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import TableBinner
+from repro.frame.frame import DataFrame
+from repro.rules.apriori import (
+    itemset_to_items,
+    mine_frequent_itemsets,
+)
+
+
+def binned_from(data: dict):
+    return TableBinner(n_bins=3).bin_table(DataFrame(data))
+
+
+class TestAprioriBasics:
+    def test_single_items_counted(self):
+        binned = binned_from({"c": ["a", "a", "b", "a"]})
+        result = mine_frequent_itemsets(binned, min_support=0.5)
+        singles = result.itemsets_of_size(1)
+        assert len(singles) == 1
+        assert result.support(singles[0]) == 0.75
+
+    def test_pair_support(self):
+        binned = binned_from({"x": ["a", "a", "b"], "y": ["p", "p", "q"]})
+        result = mine_frequent_itemsets(binned, min_support=0.6)
+        pairs = result.itemsets_of_size(2)
+        assert len(pairs) == 1
+        assert result.support(pairs[0]) == pytest.approx(2 / 3)
+        items = itemset_to_items(binned, pairs[0])
+        assert items == frozenset({("x", "a"), ("y", "p")})
+
+    def test_max_size_respected(self):
+        binned = binned_from({
+            "a": ["1"] * 10, "b": ["1"] * 10, "c": ["1"] * 10, "d": ["1"] * 10,
+        })
+        result = mine_frequent_itemsets(binned, min_support=0.5, max_size=2)
+        assert not result.itemsets_of_size(3)
+
+    def test_row_subset(self):
+        binned = binned_from({"c": ["a", "a", "b", "b"]})
+        result = mine_frequent_itemsets(binned, min_support=0.9, rows=np.array([0, 1]))
+        singles = result.itemsets_of_size(1)
+        assert len(singles) == 1
+        assert itemset_to_items(binned, singles[0]) == frozenset({("c", "a")})
+
+    def test_invalid_support_raises(self):
+        binned = binned_from({"c": ["a"]})
+        with pytest.raises(ValueError):
+            mine_frequent_itemsets(binned, min_support=0.0)
+
+    def test_empty_row_subset(self):
+        binned = binned_from({"c": ["a", "b"]})
+        result = mine_frequent_itemsets(binned, rows=np.array([], dtype=int))
+        assert len(result) == 0
+
+    def test_masks_match_supports(self):
+        binned = binned_from({"x": ["a", "a", "b"], "y": ["p", "q", "p"]})
+        result = mine_frequent_itemsets(binned, min_support=0.3)
+        for itemset, support in result.supports.items():
+            assert result.mask(itemset).sum() / binned.n_rows == pytest.approx(support)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.sampled_from("ab"), st.sampled_from("pq"), st.sampled_from("xy")),
+        min_size=4,
+        max_size=40,
+    ),
+    min_support=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_downward_closure_property(data, min_support):
+    """Anti-monotonicity: every subset of a frequent itemset is frequent."""
+    frame = DataFrame({
+        "c1": [row[0] for row in data],
+        "c2": [row[1] for row in data],
+        "c3": [row[2] for row in data],
+    })
+    binned = TableBinner().bin_table(frame)
+    result = mine_frequent_itemsets(binned, min_support=min_support)
+    frequent = set(result.supports.keys())
+    for itemset in frequent:
+        if len(itemset) > 1:
+            for item in itemset:
+                assert frozenset(itemset - {item}) in frequent
+            # support is anti-monotone
+            for item in itemset:
+                subset = frozenset(itemset - {item})
+                assert result.support(subset) >= result.support(itemset) - 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.sampled_from("abc"), st.sampled_from("pq")),
+        min_size=4,
+        max_size=30,
+    )
+)
+def test_supports_match_brute_force(data):
+    """Mined supports equal exhaustive counting."""
+    frame = DataFrame({"c1": [r[0] for r in data], "c2": [r[1] for r in data]})
+    binned = TableBinner().bin_table(frame)
+    result = mine_frequent_itemsets(binned, min_support=0.2, max_size=2)
+    rows = binned.item_matrix()
+    for itemset, support in result.supports.items():
+        items = itemset_to_items(binned, itemset)
+        count = sum(1 for row in rows if items <= set(row))
+        assert count / len(rows) == pytest.approx(support)

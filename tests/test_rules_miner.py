@@ -1,0 +1,166 @@
+"""Unit tests for RuleMiner and AssociationRule."""
+
+import numpy as np
+import pytest
+
+from repro.binning import TableBinner
+from repro.frame.frame import DataFrame
+from repro.rules import AssociationRule, RuleMiner, filter_rules_for_targets
+
+
+def make_patterned_frame(n: int = 200, seed: int = 0) -> DataFrame:
+    """Two planted patterns: (a1,b1->c1) and (a2,b2->c2), plus noise rows."""
+    rng = np.random.default_rng(seed)
+    groups = rng.choice([0, 1, 2], size=n, p=[0.4, 0.4, 0.2])
+    a = np.where(groups == 0, "a1", np.where(groups == 1, "a2", "a3"))
+    b = np.where(groups == 0, "b1", np.where(groups == 1, "b2", "b3"))
+    c = np.where(groups == 0, "c1", np.where(groups == 1, "c2", "c3"))
+    # noise group scrambles c
+    noise = groups == 2
+    scrambled = rng.choice(["c1", "c2", "c3"], size=n)
+    c = np.where(noise, scrambled, c)
+    return DataFrame({"A": list(a), "B": list(b), "C": list(c)})
+
+
+class TestAssociationRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssociationRule(frozenset(), frozenset({("a", "1")}), 0.5, 0.9)
+        with pytest.raises(ValueError):
+            AssociationRule(frozenset({("a", "1")}), frozenset(), 0.5, 0.9)
+        with pytest.raises(ValueError):
+            AssociationRule(
+                frozenset({("a", "1")}), frozenset({("a", "1")}), 0.5, 0.9
+            )
+
+    def test_columns_and_size(self):
+        rule = AssociationRule(
+            frozenset({("a", "1"), ("b", "2")}), frozenset({("c", "3")}), 0.5, 0.9
+        )
+        assert rule.columns == frozenset({"a", "b", "c"})
+        assert rule.size == 3
+        assert rule.uses_any_column(["c"])
+        assert not rule.uses_any_column(["z"])
+
+    def test_holds_mask(self):
+        frame = DataFrame({"A": ["x", "y", "x"], "B": ["p", "p", "q"]})
+        binned = TableBinner().bin_table(frame)
+        rule = AssociationRule(
+            frozenset({("A", "x")}), frozenset({("B", "p")}), 0.3, 1.0
+        )
+        assert list(rule.holds_mask(binned)) == [True, False, False]
+
+    def test_holds_mask_unknown_bin(self):
+        frame = DataFrame({"A": ["x"]})
+        binned = TableBinner().bin_table(frame)
+        rule = AssociationRule(
+            frozenset({("A", "zzz")}), frozenset({("A", "x")}), 0.1, 0.5
+        )
+        # antecedent/consequent share a column is invalid; use two columns
+        frame2 = DataFrame({"A": ["x"], "B": ["y"]})
+        binned2 = TableBinner().bin_table(frame2)
+        rule2 = AssociationRule(
+            frozenset({("A", "zzz")}), frozenset({("B", "y")}), 0.1, 0.5
+        )
+        assert not rule2.holds_mask(binned2).any()
+
+
+class TestRuleMiner:
+    def test_planted_rules_found(self):
+        frame = make_patterned_frame()
+        binned = TableBinner().bin_table(frame)
+        rules = RuleMiner(min_support=0.2, min_confidence=0.7, min_rule_size=2,
+                          min_lift=None).mine(binned)
+        found = {
+            (frozenset(rule.antecedent), frozenset(rule.consequent))
+            for rule in rules
+        }
+        assert (
+            frozenset({("A", "a1")}), frozenset({("B", "b1")})
+        ) in found or (
+            frozenset({("B", "b1")}), frozenset({("A", "a1")})
+        ) in found
+
+    def test_thresholds_respected(self):
+        frame = make_patterned_frame()
+        binned = TableBinner().bin_table(frame)
+        miner = RuleMiner(min_support=0.2, min_confidence=0.8, min_rule_size=3)
+        for rule in miner.mine(binned):
+            assert rule.support >= 0.2 - 1e-9
+            assert rule.confidence >= 0.8 - 1e-9
+            assert rule.size >= 3
+
+    def test_lift_filter_removes_independent_rules(self):
+        rng = np.random.default_rng(0)
+        # two independent near-constant columns plus a third
+        frame = DataFrame({
+            "X": ["k"] * 95 + ["o"] * 5,
+            "Y": ["k"] * 95 + ["o"] * 5,
+            "Z": list(rng.choice(["a", "b"], size=100)),
+        })
+        binned = TableBinner().bin_table(frame)
+        with_lift = RuleMiner(min_support=0.2, min_confidence=0.6,
+                              min_rule_size=2, min_lift=1.2).mine(binned)
+        without = RuleMiner(min_support=0.2, min_confidence=0.6,
+                            min_rule_size=2, min_lift=None).mine(binned)
+        assert len(with_lift) < len(without)
+
+    def test_target_rules_conclude_target(self):
+        frame = make_patterned_frame()
+        binned = TableBinner().bin_table(frame)
+        miner = RuleMiner(min_support=0.15, min_confidence=0.6, min_rule_size=2)
+        rules = miner.mine(binned, targets=["C"])
+        assert rules, "expected target-focused rules"
+        for rule in rules:
+            assert all(column == "C" for column, _ in rule.consequent)
+            assert all(column != "C" for column, _ in rule.antecedent)
+
+    def test_target_confidence_is_global(self):
+        frame = make_patterned_frame()
+        binned = TableBinner().bin_table(frame)
+        rules = RuleMiner(min_support=0.15, min_confidence=0.6,
+                          min_rule_size=2).mine(binned, targets=["C"])
+        for rule in rules:
+            body_mask = np.ones(binned.n_rows, dtype=bool)
+            for column, label in rule.antecedent:
+                j = binned.column_index(column)
+                idx = binned.binning_of(column).labels.index(label)
+                body_mask &= binned.codes[:, j] == idx
+            full_mask = rule.holds_mask(binned)
+            expected = full_mask.sum() / body_mask.sum()
+            assert rule.confidence == pytest.approx(expected)
+
+    def test_unknown_target_raises(self):
+        frame = make_patterned_frame()
+        binned = TableBinner().bin_table(frame)
+        with pytest.raises(KeyError):
+            RuleMiner().mine(binned, targets=["NOPE"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RuleMiner(min_support=0.0)
+        with pytest.raises(ValueError):
+            RuleMiner(min_confidence=1.5)
+        with pytest.raises(ValueError):
+            RuleMiner(min_rule_size=1)
+        with pytest.raises(ValueError):
+            RuleMiner(max_rule_size=2, min_rule_size=3)
+        with pytest.raises(ValueError):
+            RuleMiner(min_lift=0.0)
+
+
+class TestTargetFilter:
+    def test_no_targets_keeps_all(self):
+        rule = AssociationRule(
+            frozenset({("a", "1")}), frozenset({("b", "2")}), 0.5, 0.9
+        )
+        assert filter_rules_for_targets([rule], None) == [rule]
+
+    def test_targets_filter(self):
+        rule_a = AssociationRule(
+            frozenset({("a", "1")}), frozenset({("b", "2")}), 0.5, 0.9
+        )
+        rule_b = AssociationRule(
+            frozenset({("c", "1")}), frozenset({("d", "2")}), 0.5, 0.9
+        )
+        assert filter_rules_for_targets([rule_a, rule_b], ["a"]) == [rule_a]

@@ -1,0 +1,174 @@
+"""Tests for the simulated user study components."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import subtable_from_selection
+from repro.study import (
+    Insight,
+    SimulatedAnalyst,
+    average_ratings,
+    judge_insight,
+    rate_subtable,
+    run_user_study,
+)
+from repro.metrics.combined import Scores
+
+
+class TestInsightJudgement:
+    def test_true_pattern_judged_correct(self, planted_binned):
+        # beta rows have small SIZE and OUTCOME=1 by construction
+        size_labels = planted_binned.binning_of("SIZE").labels
+        outcome_labels = planted_binned.binning_of("OUTCOME").labels
+        # find the bin containing small sizes
+        small_bin = planted_binned.binnings["SIZE"].bin_of(300.0).label
+        insight = Insight(
+            frozenset({("KIND", "beta"), ("SIZE", small_bin)}),
+            ("OUTCOME", planted_binned.binnings["OUTCOME"].bin_of(1.0).label),
+        )
+        judgement = judge_insight(planted_binned, insight)
+        assert judgement.correct
+        assert judgement.confidence > 0.9
+
+    def test_false_pattern_judged_incorrect(self, planted_binned):
+        big_bin = planted_binned.binnings["SIZE"].bin_of(2000.0).label
+        insight = Insight(
+            frozenset({("KIND", "alpha"), ("SIZE", big_bin)}),
+            ("OUTCOME", planted_binned.binnings["OUTCOME"].bin_of(1.0).label),
+        )
+        assert not judge_insight(planted_binned, insight).correct
+
+    def test_unknown_bin_is_incorrect(self, planted_binned):
+        insight = Insight(
+            frozenset({("KIND", "nope"), ("SIZE", "nope")}),
+            ("OUTCOME", "nope"),
+        )
+        assert not judge_insight(planted_binned, insight).correct
+
+    def test_target_free_insight(self, planted_binned):
+        small_bin = planted_binned.binnings["SIZE"].bin_of(300.0).label
+        insight = Insight(frozenset({("KIND", "beta"), ("SIZE", small_bin)}))
+        assert judge_insight(planted_binned, insight).correct
+
+    def test_insight_requires_conditions(self):
+        with pytest.raises(ValueError):
+            Insight(frozenset())
+
+
+class TestSimulatedAnalyst:
+    def test_patterned_subtable_yields_insights(self, planted_binned):
+        # rows from the beta cluster repeated: strong visible pattern
+        beta_rows = [
+            i for i, kind in enumerate(planted_binned.frame.column("KIND").values)
+            if kind == "beta"
+        ][:6]
+        subtable = subtable_from_selection(
+            planted_binned.frame, beta_rows,
+            ["SIZE", "SPEED", "OUTCOME", "KIND"],
+        )
+        analyst = SimulatedAnalyst(planted_binned, seed=0)
+        report = analyst.examine(subtable, targets=["OUTCOME"])
+        assert report.n_insights > 0
+        # insights anchored at the target conclude OUTCOME
+        for insight in report.insights:
+            assert insight.conclusion[0] == "OUTCOME"
+
+    def test_no_repetition_no_insights(self, planted_binned):
+        """A sub-table with no repeated co-bins produces no insights."""
+        # one row only: nothing repeats
+        subtable = subtable_from_selection(
+            planted_binned.frame, [0], ["SIZE", "KIND"]
+        )
+        analyst = SimulatedAnalyst(planted_binned, seed=0)
+        assert analyst.examine(subtable).n_insights == 0
+
+    def test_max_insights_cap(self, planted_binned):
+        rows = list(range(12))
+        subtable = subtable_from_selection(
+            planted_binned.frame, rows, planted_binned.columns
+        )
+        analyst = SimulatedAnalyst(planted_binned, max_insights=2, seed=0)
+        assert analyst.examine(subtable).n_insights <= 2
+
+
+class TestRatings:
+    def test_better_scores_better_ratings(self):
+        rng = np.random.default_rng(0)
+        good = rate_subtable(Scores(0.9, 0.9, 0.5), correct_rate=1.0,
+                             rng=rng, noise=0.0)
+        bad = rate_subtable(Scores(0.1, 0.2, 0.5), correct_rate=0.0,
+                            rng=rng, noise=0.0)
+        assert good.satisfaction > bad.satisfaction
+        assert good.column_quality > bad.column_quality
+
+    def test_ratings_in_likert_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            ratings = rate_subtable(
+                Scores(rng.random(), rng.random(), 0.5),
+                correct_rate=rng.random(), rng=rng, noise=0.5,
+            )
+            for value in ratings.as_dict().values():
+                assert 1.0 <= value <= 5.0
+
+    def test_average(self):
+        rng = np.random.default_rng(2)
+        ratings = [
+            rate_subtable(Scores(0.5, 0.5, 0.5), 0.5, rng=rng) for _ in range(5)
+        ]
+        mean = average_ratings(ratings)
+        assert 1.0 <= mean.satisfaction <= 5.0
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_ratings([])
+
+
+class FixedSelector:
+    """Returns a fixed sub-table; used to unit-test the study loop."""
+
+    def __init__(self, frame, rows, columns, name):
+        self._frame = frame
+        self._rows = rows
+        self._columns = columns
+        self.name = name
+
+    def select(self, k, l, query=None, targets=()):
+        columns = list(self._columns)
+        for target in targets:
+            if target not in columns:
+                columns.append(target)
+        return subtable_from_selection(self._frame, self._rows, columns)
+
+
+class TestUserStudyLoop:
+    def test_study_shapes(self, planted_binned):
+        frame = planted_binned.frame
+
+        class MiniDataset:
+            name = "mini"
+            target_columns = ["OUTCOME"]
+
+        beta_rows = [
+            i for i, kind in enumerate(frame.column("KIND").values)
+            if kind == "beta"
+        ][:6]
+        pattern_selector = FixedSelector(
+            frame, beta_rows, ["SIZE", "KIND", "OUTCOME"], "pattern"
+        )
+        dull_selector = FixedSelector(frame, [0], ["NOISE", "OUTCOME"], "dull")
+        results = run_user_study(
+            selectors={"pattern": pattern_selector, "dull": dull_selector},
+            datasets=[MiniDataset()],
+            binned_tables={"mini": planted_binned},
+            n_participants=5,
+            k=6,
+            l=3,
+            seed=0,
+        )
+        assert set(results.keys()) == {"pattern", "dull"}
+        pattern = results["pattern"]
+        dull = results["dull"]
+        assert pattern.avg_total_insights > 0
+        assert dull.pct_no_insights == 100.0
+        assert pattern.avg_correct_insights >= dull.avg_correct_insights

@@ -1,0 +1,93 @@
+"""Tests for the utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    ensure_rng,
+    require,
+    require_fraction,
+    require_in_range,
+    require_positive_int,
+    spawn_rng,
+    timed,
+)
+
+
+class TestRng:
+    def test_accepts_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_accepts_int_deterministically(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_passes_generator_through(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rng(ensure_rng(0), 3)
+        draws = [child.random() for child in children]
+        assert len(set(draws)) == 3
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed >= first
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_timed_records_key(self):
+        sink = {}
+        with timed(sink, "step"):
+            pass
+        assert sink["step"] >= 0.0
+
+    def test_timed_records_on_exception(self):
+        sink = {}
+        with pytest.raises(RuntimeError):
+            with timed(sink, "step"):
+                raise RuntimeError("boom")
+        assert "step" in sink
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError):
+            require(False, "nope")
+
+    def test_positive_int(self):
+        assert require_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(1.5, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+    def test_in_range(self):
+        assert require_in_range(0.5, 0, 1, "x") == 0.5
+        with pytest.raises(ValueError):
+            require_in_range(2, 0, 1, "x")
+
+    def test_fraction(self):
+        assert require_fraction(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            require_fraction(-0.1, "x")
