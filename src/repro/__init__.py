@@ -11,6 +11,7 @@ The package implements the SubTab framework end to end:
 * :mod:`repro.core` — the SubTab algorithm (Alg. 2) and display integration;
 * :mod:`repro.baselines` — RAN, NC, Greedy (Alg. 1), SemiGreedy, MAB, EmbDI;
 * :mod:`repro.queries` — SP query algebra and EDA-session simulation;
+* :mod:`repro.serve` — session-serving engine (cached vectors + selection LRU);
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's six datasets;
 * :mod:`repro.study` — simulated user study (Table 1, Fig. 5);
 * :mod:`repro.hardness` — executable reductions behind Propositions 4.1/4.2.
@@ -35,6 +36,7 @@ from repro.core import (
 from repro.frame import Column, DataFrame, read_csv, to_csv
 from repro.metrics import Scores, SubTableScorer
 from repro.rules import AssociationRule, RuleMiner
+from repro.serve import SubTabService
 
 __version__ = "1.0.0"
 
@@ -47,6 +49,7 @@ __all__ = [
     "Scores",
     "SubTab",
     "SubTabConfig",
+    "SubTabService",
     "SubTable",
     "SubTableScorer",
     "__version__",

@@ -25,12 +25,14 @@ from repro.bench.experiments import (
     ParameterTuningResult,
     QualityResult,
     RuntimeResult,
+    ServeSessionResult,
     SessionStudyResult,
     SlowBaselineResult,
     UserStudyExperimentResult,
     run_parameter_tuning_experiment,
     run_quality_experiment,
     run_runtime_experiment,
+    run_serve_session_experiment,
     run_session_experiment,
     run_slow_baselines_experiment,
     run_user_study_experiment,
@@ -43,6 +45,7 @@ __all__ = [
     "ParameterTuningResult",
     "QualityResult",
     "RuntimeResult",
+    "ServeSessionResult",
     "SessionStudyResult",
     "SlowBaselineResult",
     "UserStudyExperimentResult",
@@ -56,6 +59,7 @@ __all__ = [
     "run_parameter_tuning_experiment",
     "run_quality_experiment",
     "run_runtime_experiment",
+    "run_serve_session_experiment",
     "run_session_experiment",
     "run_slow_baselines_experiment",
     "run_user_study_experiment",

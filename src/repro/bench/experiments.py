@@ -496,3 +496,165 @@ def run_user_study_experiment(
     return UserStudyExperimentResult(
         study=study, ratings=ratings, n_participants=n_participants
     )
+
+
+# ---------------------------------------------------------------------------
+# Session-serving latency — cold vs. cached select() over EDA sessions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServeSessionResult:
+    """Latency split of the serving layer over replayed EDA sessions.
+
+    ``cold_times`` holds one wall-clock sample per *distinct* session state
+    (every select runs the full clustering pipeline); ``cached_times`` holds
+    one sample per replayed step (every select is an LRU hit).  The ratio of
+    the two means is the session-replay speedup the serving layer buys.
+    """
+
+    dataset: str
+    n_sessions: int
+    k: int
+    l: int
+    fit_seconds: float
+    cold_times: list = field(default_factory=list)
+    cached_times: list = field(default_factory=list)
+    failures: int = 0
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def cold_mean(self) -> float:
+        return sum(self.cold_times) / len(self.cold_times) if self.cold_times else 0.0
+
+    @property
+    def cached_mean(self) -> float:
+        return (
+            sum(self.cached_times) / len(self.cached_times)
+            if self.cached_times
+            else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_mean / self.cached_mean if self.cached_mean else 0.0
+
+    def to_json(self) -> dict:
+        """JSON-serializable record for the benchmark trajectory."""
+        return {
+            "experiment": "serve_sessions",
+            "dataset": self.dataset,
+            "n_sessions": self.n_sessions,
+            "k": self.k,
+            "l": self.l,
+            "fit_seconds": self.fit_seconds,
+            "n_cold_selects": len(self.cold_times),
+            "n_cached_selects": len(self.cached_times),
+            "cold_total_seconds": sum(self.cold_times),
+            "cached_total_seconds": sum(self.cached_times),
+            "cold_mean_seconds": self.cold_mean,
+            "cached_mean_seconds": self.cached_mean,
+            "speedup": self.speedup,
+            "failures": self.failures,
+            "cache": dict(self.cache),
+        }
+
+    def render(self) -> str:
+        rows = [
+            ["cold", len(self.cold_times), sum(self.cold_times), self.cold_mean],
+            [
+                "cached",
+                len(self.cached_times),
+                sum(self.cached_times),
+                self.cached_mean,
+            ],
+        ]
+        table = format_table(
+            f"Session serving latency ({self.dataset}, {self.n_sessions} sessions, "
+            f"k={self.k}, l={self.l})",
+            ["pass", "# selects", "total s", "mean s"],
+            rows,
+        )
+        return (
+            f"{table}\n"
+            f"replay speedup: {self.speedup:.1f}x   "
+            f"cache: {self.cache}   failures: {self.failures}"
+        )
+
+
+def run_serve_session_experiment(
+    dataset_name: str = "cyber",
+    n_sessions: int = 12,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = None,
+    cache_size: int = 1024,
+    subtab_config: Optional[SubTabConfig] = None,
+) -> ServeSessionResult:
+    """Measure cold vs. cached ``select()`` latency over EDA sessions.
+
+    Cold pass: every *distinct* session state is selected once with an empty
+    LRU (full pipeline per call).  Cached pass: the sessions are then
+    replayed step by step, so every select is answered from the LRU — the
+    serving layer's session-replay path.
+    """
+    from repro.serve import SubTabService, query_fingerprint
+
+    bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+    config = subtab_config or SubTabConfig(k=k, l=l, seed=seed)
+    service = SubTabService(config=config, cache_size=cache_size)
+    fit_start = time.perf_counter()
+    service.fit(bundle.frame, binned=bundle.binned)
+    fit_seconds = time.perf_counter() - fit_start
+
+    sessions = SessionGenerator(
+        bundle.binned,
+        pattern_columns=bundle.dataset.pattern_columns,
+        seed=seed,
+    ).generate(n_sessions, name=dataset_name)
+
+    result = ServeSessionResult(
+        dataset=bundle.name,
+        n_sessions=n_sessions,
+        k=k,
+        l=l,
+        fit_seconds=fit_seconds,
+    )
+
+    # Cold pass: one select per distinct state, nothing memoized yet.
+    service.clear_cache()
+    seen: set = set()
+    distinct_states = []
+    for session in sessions:
+        for step in session:
+            fingerprint = query_fingerprint(step.state)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                distinct_states.append(step.state)
+    for state in distinct_states:
+        start = time.perf_counter()
+        try:
+            service.select(k=k, l=l, query=state)
+        except ValueError:
+            result.failures += 1
+            continue
+        result.cold_times.append(time.perf_counter() - start)
+
+    # Cached pass: replay every session step; repeats are LRU hits.
+    for session in sessions:
+        for step in session:
+            start = time.perf_counter()
+            try:
+                service.select(k=k, l=l, query=step.state)
+            except ValueError:
+                continue
+            result.cached_times.append(time.perf_counter() - start)
+
+    stats = service.cache_stats
+    result.cache = {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "size": stats.size,
+        "maxsize": stats.maxsize,
+    }
+    return result

@@ -21,7 +21,14 @@ from repro.binning.base import (
     range_labels,
 )
 from repro.binning.normalize import normalize_column, normalize_table, normalize_text
-from repro.binning.pipeline import BinnedTable, TableBinner, make_token
+from repro.binning.pipeline import (
+    BinnedTable,
+    BinnedView,
+    TableBinner,
+    fingerprint_vocab,
+    make_token,
+    normalize_row_indices,
+)
 from repro.binning.strategies import (
     EQUAL_WIDTH,
     KDE,
@@ -36,6 +43,7 @@ from repro.binning.strategies import (
 __all__ = [
     "Bin",
     "BinnedTable",
+    "BinnedView",
     "CATEGORY",
     "ColumnBinning",
     "EQUAL_WIDTH",
@@ -49,10 +57,12 @@ __all__ = [
     "bin_categorical_column",
     "bin_numeric_column",
     "equal_width_edges",
+    "fingerprint_vocab",
     "kde_edges",
     "make_range_bins",
     "make_token",
     "normalize_column",
+    "normalize_row_indices",
     "normalize_table",
     "normalize_text",
     "quantile_edges",

@@ -10,10 +10,18 @@ every downstream component:
 
 ``codes[i, j]`` stores the bin index of cell (i, j) within column j's binning;
 ``token_ids[i, j]`` stores a globally unique id for the (column, bin) pair.
+
+Selection-projection views (:class:`BinnedView`, produced by
+:meth:`BinnedTable.subset`) share the parent table's *global token space*:
+their ``token_ids`` are a pure gather of the parent's ids and their ``vocab``
+is the parent's full vocabulary.  This is what lets one trained cell
+embedding serve every query result — ids are never re-numbered, so vectors
+trained on the full table index correctly into any view.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence
 
 import numpy as np
@@ -32,6 +40,43 @@ TOKEN_SEPARATOR = "="
 def make_token(column: str, label: str) -> str:
     """The corpus token for bin ``label`` of ``column``."""
     return f"{column}{TOKEN_SEPARATOR}{label}"
+
+
+def normalize_row_indices(rows) -> np.ndarray:
+    """Row selection as an int64 index array; boolean masks are expanded.
+
+    Shared by :meth:`BinnedTable.subset` and the serving layer so both
+    interpret row selections identically (that equivalence is what makes
+    served vectors bit-identical to cold ones).  Non-integer dtypes raise
+    instead of being silently floored.
+    """
+    row_idx = np.asarray(rows)
+    if row_idx.size == 0:
+        # np.asarray([]) defaults to float64; an empty selection is valid.
+        return np.zeros(0, dtype=np.int64)
+    if row_idx.dtype == bool:
+        return np.flatnonzero(row_idx)
+    if np.issubdtype(row_idx.dtype, np.integer):
+        return row_idx.astype(np.int64)
+    raise IndexError(
+        f"row indices must be integers or a boolean mask, "
+        f"got dtype {row_idx.dtype}"
+    )
+
+
+def fingerprint_vocab(vocab: Sequence[str]) -> str:
+    """Stable content hash of a token vocabulary.
+
+    Two vocabularies fingerprint equal iff they list the same tokens in the
+    same order — i.e. iff token ids mean the same (column, bin) pairs.  Used
+    by :meth:`repro.embedding.model.CellEmbeddingModel._check_compatible` to
+    reject tables whose ids live in a different token space.
+    """
+    digest = hashlib.sha1()
+    for token in vocab:
+        digest.update(token.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 class BinnedTable:
@@ -64,6 +109,14 @@ class BinnedTable:
         self.token_ids = (self.codes + self._offsets[:-1][np.newaxis, :]).astype(
             np.int64
         )
+        self._vocab_fingerprint: Optional[str] = None
+
+    @property
+    def vocab_fingerprint(self) -> str:
+        """Content hash identifying this table's token space (lazy, cached)."""
+        if self._vocab_fingerprint is None:
+            self._vocab_fingerprint = fingerprint_vocab(self.vocab)
+        return self._vocab_fingerprint
 
     # -- shape ---------------------------------------------------------------
     @property
@@ -114,20 +167,21 @@ class BinnedTable:
 
     # -- derived tables --------------------------------------------------------
     def subset(self, rows: Optional[Sequence[int]] = None,
-               columns: Optional[Sequence[str]] = None) -> "BinnedTable":
+               columns: Optional[Sequence[str]] = None) -> "BinnedView":
         """Binned view of a selection-projection of the underlying table.
 
         This is the key enabler of the paper's interactive query path: the
-        bins (and therefore tokens and embeddings) of the full table are
-        reused, only the code matrix is sliced.
+        bins, vocabulary and *global token ids* of the full table are reused;
+        only the code and token-id matrices are sliced.  The returned
+        :class:`BinnedView` therefore indexes correctly into any cell
+        embedding trained on this table.
         """
-        row_idx = np.arange(self.n_rows) if rows is None else np.asarray(rows)
+        if rows is None:
+            row_idx = np.arange(self.n_rows)
+        else:
+            row_idx = normalize_row_indices(rows)
         column_names = self.columns if columns is None else list(columns)
-        col_idx = np.array([self.column_index(name) for name in column_names])
-        frame = self.frame.take(row_idx).project(column_names)
-        codes = self.codes[np.ix_(row_idx, col_idx)]
-        binnings = {name: self.binnings[name] for name in column_names}
-        return BinnedTable(frame, binnings, codes)
+        return BinnedView(self, row_idx, column_names)
 
     def item_matrix(self) -> list[list[tuple[str, str]]]:
         """All rows as lists of (column, bin label) items — transaction form."""
@@ -139,6 +193,69 @@ class BinnedTable:
             ]
             for i in range(self.n_rows)
         ]
+
+
+class BinnedView(BinnedTable):
+    """A selection-projection view over a :class:`BinnedTable`.
+
+    Shares the parent's token space outright: ``vocab``, ``token_to_id`` and
+    the vocabulary fingerprint are the *parent's* objects, and ``token_ids``
+    is a gather ``parent.token_ids[rows x columns]`` — ids are never
+    re-numbered.  ``n_tokens`` consequently reports the full-table vocabulary
+    size even when columns are projected away; any model trained on the
+    parent is valid on every view.
+
+    Views of views flatten: ``view.subset(...)`` composes the row/column
+    selections and stays anchored to the same root table, so arbitrarily
+    nested query refinements keep O(1) vocabulary sharing.
+    """
+
+    def __init__(self, parent: BinnedTable, row_idx: np.ndarray,
+                 column_names: list[str]):
+        col_idx = np.array(
+            [parent.column_index(name) for name in column_names], dtype=np.int64
+        )
+        # Anchor to the root table so chained views stay one hop deep.
+        if isinstance(parent, BinnedView):
+            root = parent.parent
+            row_idx = parent._row_indices[row_idx]
+            col_idx = parent._col_indices[col_idx]
+        else:
+            root = parent
+        self.parent = root
+        self._row_indices = np.asarray(row_idx, dtype=np.int64)
+        self._col_indices = col_idx
+        gather = np.ix_(self._row_indices, self._col_indices)
+        # Deliberately no super().__init__(): that would rebuild the
+        # vocabulary over the kept columns and re-number token ids — the
+        # exact bug views exist to prevent.
+        self.frame = root.frame.take(self._row_indices).project(column_names)
+        self.binnings = {name: root.binnings[name] for name in column_names}
+        self.codes = root.codes[gather]
+        self.token_ids = root.token_ids[gather]
+        self.columns = self.frame.columns
+        self._column_index = {name: j for j, name in enumerate(self.columns)}
+        self.vocab = root.vocab
+        self.token_to_id = root.token_to_id
+
+    @property
+    def vocab_fingerprint(self) -> str:
+        """The root table's fingerprint — views live in the same token space."""
+        return self.parent.vocab_fingerprint
+
+    @property
+    def row_indices(self) -> np.ndarray:
+        """Positions of the view's rows in the root table."""
+        return self._row_indices
+
+    @property
+    def column_indices(self) -> np.ndarray:
+        """Positions of the view's columns in the root table."""
+        return self._col_indices
+
+    def bin_of_token(self, token_id: int):
+        """Delegate to the root: token ids are global, offsets live there."""
+        return self.parent.bin_of_token(token_id)
 
 
 class TableBinner:

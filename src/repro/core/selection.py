@@ -158,19 +158,24 @@ def _mass_row_pick(
         if quota == 0:
             continue
         members = np.flatnonzero(result.labels == c)
-        picks = [int(members[norms[members].argmax()])]
-        while len(picks) < quota:
-            candidates = np.array([m for m in members if m not in picks])
-            gaps = np.min(
-                np.linalg.norm(
-                    row_vectors[candidates][:, np.newaxis, :]
-                    - row_vectors[picks][np.newaxis, :, :],
-                    axis=2,
-                ),
-                axis=1,
+        member_vectors = row_vectors[members]
+        # Farthest-point sweep with a running min-distance array: each new
+        # pick costs one O(|members| * d) distance pass instead of
+        # re-evaluating all pick-candidate pairs, so a cluster's sweep is
+        # O(quota * |members| * d) rather than O(quota^2 * |members| * d).
+        first = int(norms[members].argmax())
+        picked = np.zeros(len(members), dtype=bool)
+        picked[first] = True
+        min_dist = np.linalg.norm(member_vectors - member_vectors[first], axis=1)
+        for _ in range(quota - 1):
+            gaps = np.where(picked, -np.inf, min_dist)
+            nxt = int(gaps.argmax())
+            picked[nxt] = True
+            min_dist = np.minimum(
+                min_dist,
+                np.linalg.norm(member_vectors - member_vectors[nxt], axis=1),
             )
-            picks.append(int(candidates[gaps.argmax()]))
-        chosen.extend(picks)
+        chosen.extend(int(m) for m in members[picked])
     return sorted(chosen)
 
 
@@ -185,6 +190,7 @@ def centroid_selection(
     row_mode: str = "mass",
     n_init: int = 4,
     seed=None,
+    row_vectors: "np.ndarray | None" = None,
 ) -> tuple[list[int], list[str]]:
     """Pick (row positions within ``view``, column names) for a k x l sub-table.
 
@@ -193,6 +199,10 @@ def centroid_selection(
     literal Algorithm-2 row stage (one representative per cluster, chosen by
     ``centroid_mode``); ``row_mode="mass"`` (default) allocates the row
     budget across clusters by signal mass, matching the column stage.
+
+    ``row_vectors`` optionally supplies the view's (n, d) tuple-vectors,
+    letting callers that cache full-table vectors (the serving layer) skip
+    the per-query pooling; when omitted they are computed from the model.
     """
     if k < 1 or l < 1:
         raise ValueError(f"sub-table dimensions must be positive, got k={k}, l={l}")
@@ -210,7 +220,13 @@ def centroid_selection(
         raise ValueError(f"cannot fit {len(targets)} target columns into l={l} columns")
     rng = ensure_rng(seed)
 
-    row_vectors = model.row_vectors(view)
+    if row_vectors is None:
+        row_vectors = model.row_vectors(view)
+    elif row_vectors.shape[0] != view.n_rows:
+        raise ValueError(
+            f"row_vectors has {row_vectors.shape[0]} rows but the view has "
+            f"{view.n_rows}"
+        )
     if row_mode == "mass":
         rows = _mass_row_pick(row_vectors, k, n_init, rng)
     else:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.binning.pipeline import BinnedTable
+from repro.binning.pipeline import BinnedTable, fingerprint_vocab
 
 
 class CellEmbeddingModel:
@@ -33,6 +33,7 @@ class CellEmbeddingModel:
         self.vectors = np.asarray(vectors, dtype=np.float64)
         self.vocab = list(vocab)
         self.token_to_id = {token: i for i, token in enumerate(vocab)}
+        self.vocab_fingerprint = fingerprint_vocab(self.vocab)
 
     @property
     def dim(self) -> int:
@@ -61,6 +62,25 @@ class CellEmbeddingModel:
         return self.vectors[binned.token_ids].mean(axis=0)
 
     def _check_compatible(self, binned: BinnedTable) -> None:
+        """Reject tables whose token ids live in a different token space.
+
+        A bare bounds check is not enough: a table re-binned over a subset of
+        columns re-numbers its token ids, and those ids stay *in bounds*
+        while meaning entirely different (column, bin) pairs — every lookup
+        silently returns another cell's vector.  The vocabulary fingerprint
+        catches exactly that class: ids are only trusted when the table's
+        vocabulary is (content-)identical to the one this model was trained
+        on.  Views created via :meth:`BinnedTable.subset` share their
+        parent's vocabulary, so they pass by construction.
+        """
+        fingerprint = getattr(binned, "vocab_fingerprint", None)
+        if fingerprint is not None and fingerprint != self.vocab_fingerprint:
+            raise ValueError(
+                "binned table's vocabulary does not match the one this model was "
+                "trained on; its token ids would index the wrong vectors. Use "
+                "BinnedTable.subset() to derive views (they share the parent's "
+                "token space) instead of re-binning."
+            )
         max_token = int(binned.token_ids.max(initial=0))
         if max_token >= len(self.vocab):
             raise ValueError(

@@ -7,8 +7,11 @@ the full table.  Cell coverage (d3) is the size of the union of contributions
 of covered rules, normalized by ``upcov`` — the union over *all* rules.
 
 The evaluator pre-computes, per rule, the boolean row mask of T_R and the
-column index set, so one coverage query costs O(|covered rules| * n) bit-ops
-— fast enough to sit inside the greedy baseline's inner loop.
+column index set, and packs all pattern masks into one bit matrix
+(``np.packbits``): finding the patterns touched by a row selection is a
+single vectorized AND over ``n_patterns x ceil(n/8)`` bytes rather than a
+python loop over per-row lists — fast enough to sit inside the greedy
+baseline's inner loop and the serving layer's per-query scoring.
 """
 
 from __future__ import annotations
@@ -51,10 +54,17 @@ class CoverageEvaluator:
                 self._rule_masks.append(rule.holds_mask(binned))
                 self._rule_columns.append(rule.columns)
             self._pattern_of_rule.append(pattern_id)
-        self._rules_by_row: list[list[int]] = [[] for _ in range(binned.n_rows)]
-        for pattern_id, mask in enumerate(self._rule_masks):
-            for row in np.flatnonzero(mask):
-                self._rules_by_row[row].append(pattern_id)
+        # Bit-packed (n_patterns, ceil(n_rows/8)) matrix of the pattern row
+        # masks; row->pattern queries become vectorized byte ANDs.
+        if self._rule_masks:
+            mask_matrix = np.stack(self._rule_masks)
+        else:
+            mask_matrix = np.zeros((0, binned.n_rows), dtype=bool)
+        self._packed_masks = np.packbits(mask_matrix, axis=1)
+        # Lazily filled per-row memo: the greedy baseline asks for the same
+        # rows' patterns across iterations, so the bit extraction is paid
+        # once per row instead of once per call.
+        self._row_patterns: dict[int, list[int]] = {}
         self._rules_of_pattern: list[list[int]] = [[] for _ in self._rule_masks]
         for rule_id, pattern_id in enumerate(self._pattern_of_rule):
             self._rules_of_pattern[pattern_id].append(rule_id)
@@ -80,13 +90,13 @@ class CoverageEvaluator:
     ) -> list[int]:
         """Covered pattern (deduped itemset) ids of the sub-table (d1)."""
         column_set = frozenset(columns)
-        rows = np.asarray(row_indices, dtype=np.int64)
-        candidate_ids: set[int] = set()
-        for row in rows:
-            candidate_ids.update(self._rules_by_row[row])
+        selected = np.zeros(self.binned.n_rows, dtype=bool)
+        selected[np.asarray(row_indices, dtype=np.int64)] = True
+        packed_selection = np.packbits(selected)
+        hit = (self._packed_masks & packed_selection[np.newaxis, :]).any(axis=1)
         return [
-            pattern_id
-            for pattern_id in sorted(candidate_ids)
+            int(pattern_id)
+            for pattern_id in np.flatnonzero(hit)
             if self._rule_columns[pattern_id] <= column_set
         ]
 
@@ -113,8 +123,18 @@ class CoverageEvaluator:
         ]
 
     def patterns_holding_for_row(self, row_index: int) -> list[int]:
-        """Pattern ids that hold for a single full-table row."""
-        return list(self._rules_by_row[row_index])
+        """Pattern ids that hold for a single full-table row (memoized)."""
+        row_index = int(row_index)
+        cached = self._row_patterns.get(row_index)
+        if cached is not None:
+            return list(cached)
+        if not (0 <= row_index < self.binned.n_rows):
+            raise IndexError(f"row {row_index} out of range")
+        byte = self._packed_masks[:, row_index >> 3]
+        bits = (byte >> (7 - (row_index & 7))) & 1
+        patterns = [int(pattern_id) for pattern_id in np.flatnonzero(bits)]
+        self._row_patterns[row_index] = patterns
+        return list(patterns)
 
     def rules_of_pattern(self, pattern_id: int) -> list[AssociationRule]:
         """All mined rules sharing one pattern (itemset)."""

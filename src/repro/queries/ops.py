@@ -76,6 +76,17 @@ class SPQuery:
             )
         return fragments
 
+    def fingerprint(self) -> str:
+        """Injective cache key for the serving layer.
+
+        Content-based (predicates are frozen dataclasses whose repr shows
+        their values), and — unlike :meth:`describe` — it distinguishes
+        ``projection=None`` (keep all columns) from ``projection=()``
+        (keep none, an invalid query), so semantically different queries
+        never share a cache slot.
+        """
+        return f"SPQuery:{(self.predicates, self.projection)!r}"
+
     def describe(self) -> str:
         where = " AND ".join(p.describe() for p in self.predicates) or "TRUE"
         select = ", ".join(self.projection) if self.projection else "*"

@@ -1,0 +1,27 @@
+"""Session-serving layer for SubTab (the ROADMAP's scale direction).
+
+Public surface::
+
+    from repro.serve import SubTabService, LRUCache, query_fingerprint
+
+:class:`SubTabService` wraps a fitted SubTab pipeline behind a
+request/response interface tuned for interactive exploration sessions: the
+full table's cell vectors are computed exactly once at fit time, every query
+result's tuple-vectors are served by slicing that cache, and repeated
+requests (session replay, back-navigation, dashboards polling the same
+query) hit an LRU of finished selections.
+"""
+
+from repro.serve.service import (
+    CacheStats,
+    LRUCache,
+    SubTabService,
+    query_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "SubTabService",
+    "query_fingerprint",
+]

@@ -11,9 +11,11 @@ from repro.binning import (
     MISSING_LABEL,
     OTHER_LABEL,
     QUANTILE,
+    BinnedView,
     TableBinner,
     bin_categorical_column,
     bin_numeric_column,
+    fingerprint_vocab,
     make_token,
     normalize_table,
     normalize_text,
@@ -146,8 +148,73 @@ class TestTableBinner:
         view = binned.subset(rows=[0, 2], columns=["c"])
         assert view.codes.shape == (2, 1)
         assert view.codes[0, 0] == binned.codes[0, 1]
-        # token ids are re-based but map to the same bins
+        # token ids stay global: the view gathers the parent's ids untouched
+        assert np.array_equal(view.token_ids[:, 0], binned.token_ids[[0, 2], 1])
         assert view.token_of_cell(0, "c") == binned.token_of_cell(0, "c")
+
+
+class TestBinnedView:
+    @pytest.fixture()
+    def binned(self):
+        frame = DataFrame({
+            "x": [1.0, 2.0, 30.0, 40.0, 5.0],
+            "c": ["a", "b", "a", "b", "a"],
+            "y": [0.1, 0.2, 9.0, 9.1, 0.3],
+        })
+        return TableBinner(n_bins=2).bin_table(frame)
+
+    def test_view_shares_token_space(self, binned):
+        view = binned.subset(rows=[1, 3], columns=["c", "y"])
+        assert isinstance(view, BinnedView)
+        assert view.vocab is binned.vocab
+        assert view.token_to_id is binned.token_to_id
+        assert view.n_tokens == binned.n_tokens
+        assert view.vocab_fingerprint == binned.vocab_fingerprint
+
+    def test_view_token_ids_are_a_gather(self, binned):
+        rows = [4, 0, 2]
+        view = binned.subset(rows=rows, columns=["y", "x"])
+        col_idx = [binned.column_index("y"), binned.column_index("x")]
+        assert np.array_equal(
+            view.token_ids, binned.token_ids[np.ix_(rows, col_idx)]
+        )
+        # cells still round-trip to the same (column, bin) pairs
+        for i, row in enumerate(rows):
+            for j, name in enumerate(["y", "x"]):
+                assert view.token_of_cell(i, name) == binned.token_of_cell(row, name)
+                assert view.item_of_cell(i, name) == binned.item_of_cell(row, name)
+
+    def test_bin_of_token_delegates_to_root(self, binned):
+        view = binned.subset(columns=["y"])
+        token_id = int(view.token_ids[0, 0])
+        assert view.bin_of_token(token_id) == binned.bin_of_token(token_id)
+
+    def test_chained_views_flatten_to_root(self, binned):
+        view = binned.subset(rows=[0, 2, 3, 4], columns=["x", "y"])
+        nested = view.subset(rows=[1, 3], columns=["y"])
+        assert nested.parent is binned
+        assert np.array_equal(nested.row_indices, np.array([2, 4]))
+        assert np.array_equal(
+            nested.token_ids,
+            binned.token_ids[np.ix_([2, 4], [binned.column_index("y")])],
+        )
+
+    def test_fingerprint_differs_for_rebinned_subset(self, binned):
+        rebinned = TableBinner(n_bins=2).bin_table(binned.frame.project(["c", "y"]))
+        assert rebinned.vocab_fingerprint != binned.vocab_fingerprint
+
+    def test_empty_and_boolean_row_selections(self, binned):
+        empty = binned.subset(rows=[])
+        assert empty.n_rows == 0 and empty.n_cols == binned.n_cols
+        mask = np.array([True, False, True, False, False])
+        masked = binned.subset(rows=mask)
+        assert np.array_equal(masked.row_indices, np.array([0, 2]))
+        with pytest.raises(IndexError):
+            binned.subset(rows=[0.5, 1.5])
+
+    def test_fingerprint_is_content_based(self):
+        assert fingerprint_vocab(["a=1", "b=2"]) == fingerprint_vocab(["a=1", "b=2"])
+        assert fingerprint_vocab(["a=1", "b=2"]) != fingerprint_vocab(["b=2", "a=1"])
 
     def test_item_of_cell(self):
         frame = DataFrame({"c": ["a", "b"]})

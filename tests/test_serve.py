@@ -1,0 +1,194 @@
+"""Tests for the session-serving layer (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.queries.ops import SPQuery
+from repro.queries.predicates import Eq, InRange
+from repro.serve import CacheStats, LRUCache, SubTabService, query_fingerprint
+
+
+@pytest.fixture(scope="module")
+def service(fitted_subtab):
+    return SubTabService(subtab=fitted_subtab, cache_size=8)
+
+
+class TestQueryFingerprint:
+    def test_none_is_stable(self):
+        assert query_fingerprint(None) == query_fingerprint(None)
+
+    def test_distinct_queries_distinct_fingerprints(self):
+        a = SPQuery(projection=("SIZE", "SPEED"))
+        b = SPQuery(projection=("SIZE", "KIND"))
+        c = SPQuery((Eq("KIND", "alpha"),), projection=("SIZE", "SPEED"))
+        fingerprints = {query_fingerprint(q) for q in (a, b, c)}
+        assert len(fingerprints) == 3
+        assert query_fingerprint(None) not in fingerprints
+
+    def test_equivalent_queries_share_fingerprint(self):
+        a = SPQuery((InRange("SIZE", low=0.0, high=1.0),))
+        b = SPQuery((InRange("SIZE", low=0.0, high=1.0),))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_fingerprint_method_wins(self):
+        class Custom:
+            def fingerprint(self):
+                return "custom-key"
+
+            def describe(self):
+                return "ignored"
+
+        assert query_fingerprint(Custom()) == "custom-key"
+
+    def test_empty_projection_distinct_from_none(self):
+        # projection=() (invalid: keeps no columns) must not share a cache
+        # slot with projection=None (keeps all columns)
+        pred = (Eq("KIND", "alpha"),)
+        assert query_fingerprint(SPQuery(pred)) != query_fingerprint(
+            SPQuery(pred, projection=())
+        )
+
+    def test_unfingerprintable_query_rejected(self):
+        class Opaque:
+            pass
+
+        # repr() of such an object embeds a memory address — a recycled
+        # address would silently alias another query's cache entry.
+        with pytest.raises(TypeError, match="fingerprint"):
+            query_fingerprint(Opaque())
+
+
+class TestLRUCache:
+    def test_put_get_and_stats(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert isinstance(stats, CacheStats)
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestSubTabService:
+    def test_requires_fit(self, fast_subtab_config):
+        fresh = SubTabService(config=fast_subtab_config)
+        assert not fresh.is_fitted
+        with pytest.raises(RuntimeError):
+            fresh.select()
+
+    def test_rejects_config_and_subtab(self, fitted_subtab, fast_subtab_config):
+        with pytest.raises(ValueError):
+            SubTabService(config=fast_subtab_config, subtab=fitted_subtab)
+
+    def test_matches_cold_pipeline_full_table(self, service, fitted_subtab):
+        cold = fitted_subtab.select(k=5, l=4)
+        served = service.select(k=5, l=4)
+        assert served.row_indices == cold.row_indices
+        assert served.columns == cold.columns
+
+    def test_matches_cold_pipeline_on_projecting_query(self, service, fitted_subtab):
+        query = SPQuery(
+            (Eq("KIND", "alpha"),),
+            projection=("SPEED", "OUTCOME", "KIND"),
+        )
+        cold = fitted_subtab.select(k=3, l=2, query=query)
+        served = service.select(k=3, l=2, query=query)
+        assert served.row_indices == cold.row_indices
+        assert served.columns == cold.columns
+
+    def test_repeat_select_hits_cache(self, fitted_subtab):
+        service = SubTabService(subtab=fitted_subtab, cache_size=4)
+        first = service.select(k=4, l=3)
+        second = service.select(k=4, l=3)
+        assert second is first
+        stats = service.cache_stats
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_cache_key_includes_dimensions_and_targets(self, fitted_subtab):
+        service = SubTabService(subtab=fitted_subtab, cache_size=8)
+        a = service.select(k=4, l=3)
+        b = service.select(k=3, l=3)
+        c = service.select(k=4, l=3, targets=("OUTCOME",))
+        assert service.cache_stats.misses == 3
+        assert b is not a and c is not a
+        assert "OUTCOME" in c.columns
+
+    def test_clear_cache(self, fitted_subtab):
+        service = SubTabService(subtab=fitted_subtab, cache_size=4)
+        service.select(k=4, l=3)
+        service.clear_cache()
+        assert service.cache_stats.size == 0
+        service.select(k=4, l=3)
+        assert service.cache_stats.misses == 1
+
+    def test_view_row_vectors_match_model(self, service, fitted_subtab):
+        binned = fitted_subtab.binned
+        rows = np.array([0, 7, 11, 42])
+        columns = list(binned.columns[1:4])
+        view = binned.subset(rows=rows, columns=columns)
+        np.testing.assert_array_equal(
+            service.view_row_vectors(rows, columns),
+            fitted_subtab.model.row_vectors(view),
+        )
+        # full-column fast path
+        np.testing.assert_array_equal(
+            service.view_row_vectors(rows, binned.columns),
+            fitted_subtab.model.row_vectors(binned.subset(rows=rows)),
+        )
+
+    def test_view_row_vectors_accept_boolean_masks(self, service, fitted_subtab):
+        binned = fitted_subtab.binned
+        mask = np.zeros(binned.n_rows, dtype=bool)
+        mask[[2, 9, 30]] = True
+        columns = list(binned.columns[1:3])
+        np.testing.assert_array_equal(
+            service.view_row_vectors(mask, columns),
+            fitted_subtab.model.row_vectors(
+                binned.subset(rows=mask, columns=columns)
+            ),
+        )
+        with pytest.raises(IndexError):
+            service.view_row_vectors(np.array([0.5, 1.5]), columns)
+
+    def test_fit_from_config(self, planted_frame, fast_subtab_config):
+        service = SubTabService(config=fast_subtab_config, cache_size=4).fit(
+            planted_frame
+        )
+        assert service.is_fitted
+        result = service.select()
+        assert result.shape == (fast_subtab_config.k, fast_subtab_config.l)
+
+    def test_invalid_dimensions(self, service):
+        with pytest.raises(ValueError):
+            service.select(k=0, l=3)
+
+    def test_empty_projection_still_raises_after_cache_warm(self, fitted_subtab):
+        service = SubTabService(subtab=fitted_subtab, cache_size=4)
+        pred = (Eq("KIND", "alpha"),)
+        service.select(k=3, l=2, query=SPQuery(pred))  # warms the cache
+        with pytest.raises(ValueError, match="no columns"):
+            service.select(k=3, l=2, query=SPQuery(pred, projection=()))
+
+    def test_drives_session_replay(self, service, planted_binned):
+        """The service satisfies the selector protocol used by replay."""
+        from repro.queries.generator import SessionGenerator
+        from repro.queries.replay import replay_sessions
+
+        sessions = SessionGenerator(planted_binned, seed=3).generate(2)
+        result = replay_sessions(service, sessions, k=4, l=3)
+        assert result.selector == "SubTabService"
+        assert result.total >= 0

@@ -1,0 +1,201 @@
+"""Regression tests for the shared global token space of query views.
+
+The bug class under test: ``BinnedTable.subset()`` used to *re-bin* the kept
+columns, silently re-numbering token ids from zero.  A model trained on the
+full table then indexed those local ids into its full-table vectors — in
+bounds, so nothing raised, but every cell of a projected view read a vector
+belonging to an earlier column's bins.  These tests pin both halves of the
+fix: views gather the parent's global ids (never re-number), and the model
+refuses vocab-mismatched tables outright.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import BinnedTable, TableBinner, normalize_table
+from repro.datasets import dataset_names, make_dataset
+from repro.embedding.model import CellEmbeddingModel
+from repro.frame.frame import DataFrame
+from repro.queries.ops import SPQuery
+
+
+def random_model(binned: BinnedTable, dim: int = 8, seed: int = 0) -> CellEmbeddingModel:
+    """A model over ``binned``'s vocabulary with distinct random vectors."""
+    rng = np.random.default_rng(seed)
+    return CellEmbeddingModel(rng.normal(size=(binned.n_tokens, dim)), binned.vocab)
+
+
+# ---------------------------------------------------------------------------
+# The headline regression: projected views read the right vectors,
+# for every dataset in the registry.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_projected_view_vectors_match_full_table(name):
+    dataset = make_dataset(name, n_rows=150, seed=0)
+    binned = TableBinner(n_bins=3).bin_table(normalize_table(dataset.frame))
+    model = random_model(binned)
+
+    # Project away a column-prefix and keep a row subset — the query shape
+    # that used to trigger the silent remapping.
+    kept_columns = list(binned.columns[1:])
+    query = SPQuery(projection=kept_columns)
+    rows = query.row_indices(binned.frame)
+    view = binned.subset(rows=rows, columns=kept_columns)
+
+    col_idx = np.array([binned.column_index(c) for c in kept_columns])
+    full_cells = model.cell_vectors(binned)
+    expected_rows = full_cells[np.ix_(rows, col_idx)].mean(axis=1)
+    expected_cols = full_cells[np.ix_(rows, col_idx)].mean(axis=0)
+
+    np.testing.assert_array_equal(model.row_vectors(view), expected_rows)
+    np.testing.assert_array_equal(model.column_vectors(view), expected_cols)
+    np.testing.assert_array_equal(
+        model.cell_vectors(view), full_cells[np.ix_(rows, col_idx)]
+    )
+
+
+def test_projected_view_cells_keep_their_own_columns_vectors():
+    """Cells of column j must read column j's vectors, not an earlier column's."""
+    frame = DataFrame({
+        "first": ["a", "b", "a", "b"],
+        "second": ["p", "p", "q", "q"],
+    })
+    binned = TableBinner().bin_table(frame)
+    model = random_model(binned)
+    view = binned.subset(columns=["second"])
+    for i in range(view.n_rows):
+        token = binned.token_of_cell(i, "second")
+        np.testing.assert_array_equal(
+            model.cell_vectors(view)[i, 0], model.vector_of(token)
+        )
+
+
+# ---------------------------------------------------------------------------
+# The hardened compatibility check: the old silent case now raises.
+# ---------------------------------------------------------------------------
+
+class TestVocabFingerprintCheck:
+    def make_rebinned_subset(self, binned: BinnedTable, columns) -> BinnedTable:
+        """What the buggy subset() used to build: a re-numbered token space."""
+        col_idx = np.array([binned.column_index(c) for c in columns])
+        frame = binned.frame.project(list(columns))
+        codes = binned.codes[:, col_idx]
+        binnings = {name: binned.binnings[name] for name in columns}
+        return BinnedTable(frame, binnings, codes)
+
+    def test_renumbered_table_is_rejected(self, planted_binned):
+        model = random_model(planted_binned)
+        rebinned = self.make_rebinned_subset(
+            planted_binned, planted_binned.columns[1:]
+        )
+        # the old check only looked at bounds, so this passed silently
+        assert int(rebinned.token_ids.max()) < len(model.vocab)
+        with pytest.raises(ValueError, match="vocabulary does not match"):
+            model.row_vectors(rebinned)
+        with pytest.raises(ValueError, match="vocabulary does not match"):
+            model.column_vectors(rebinned)
+        with pytest.raises(ValueError, match="vocabulary does not match"):
+            model.cell_vectors(rebinned)
+
+    def test_views_and_identical_rebinning_pass(self, planted_binned):
+        model = random_model(planted_binned)
+        view = planted_binned.subset(rows=[0, 5, 9], columns=planted_binned.columns[2:])
+        assert model.row_vectors(view).shape == (3, model.dim)
+        # a content-identical vocabulary (same binner, same table) is fine
+        twin = BinnedTable(
+            planted_binned.frame, planted_binned.binnings, planted_binned.codes
+        )
+        assert model.row_vectors(twin).shape == (planted_binned.n_rows, model.dim)
+
+
+# ---------------------------------------------------------------------------
+# Property: view token ids are always a gather of the parent's global ids.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def frame_and_selection(draw):
+    n = draw(st.integers(min_value=3, max_value=25))
+    col_a = draw(st.lists(st.sampled_from("abc"), min_size=n, max_size=n))
+    col_b = draw(st.lists(st.sampled_from("pqr"), min_size=n, max_size=n))
+    col_c = draw(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=n, max_size=n)
+    )
+    frame = DataFrame({"A": col_a, "B": col_b, "C": col_c})
+    rows = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=n,
+            unique=True,
+        )
+    )
+    columns = draw(
+        st.lists(st.sampled_from(["A", "B", "C"]), min_size=1, max_size=3, unique=True)
+    )
+    return frame, rows, columns
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=frame_and_selection())
+def test_view_token_ids_are_gather_of_parent(data):
+    frame, rows, columns = data
+    binned = TableBinner(n_bins=2).bin_table(frame)
+    view = binned.subset(rows=rows, columns=columns)
+    col_idx = [binned.column_index(c) for c in columns]
+    assert np.array_equal(view.token_ids, binned.token_ids[np.ix_(rows, col_idx)])
+    assert view.vocab is binned.vocab
+    # a second-level view is still a gather of the *root* ids
+    sub_rows = list(range(0, len(rows), 2))
+    nested = view.subset(rows=sub_rows, columns=columns[:1])
+    root_rows = [rows[i] for i in sub_rows]
+    assert np.array_equal(
+        nested.token_ids, binned.token_ids[np.ix_(root_rows, col_idx[:1])]
+    )
+
+
+# ---------------------------------------------------------------------------
+# End-to-end acceptance: selecting on a column-prefix-projecting query equals
+# selecting from scratch on that view with a correctly aligned vocabulary.
+# ---------------------------------------------------------------------------
+
+def test_selection_on_projecting_query_matches_aligned_from_scratch(fitted_subtab):
+    from repro.core.selection import centroid_selection
+    from repro.utils.rng import ensure_rng
+
+    binned = fitted_subtab.binned
+    model = fitted_subtab.model
+    config = fitted_subtab.config
+    kept_columns = list(binned.columns[1:])  # project away the column-prefix
+    query = SPQuery(projection=kept_columns)
+
+    result = fitted_subtab.select(k=4, l=3, query=query)
+
+    # From scratch: rebuild the projected view as its own table (local token
+    # ids) and align a model to its local vocabulary by gathering the global
+    # vectors — the ground truth the shared-token-space path must reproduce.
+    col_idx = np.array([binned.column_index(c) for c in kept_columns])
+    local = BinnedTable(
+        binned.frame.project(kept_columns),
+        {name: binned.binnings[name] for name in kept_columns},
+        binned.codes[:, col_idx],
+    )
+    aligned_vectors = np.stack(
+        [model.vector_of(token) for token in local.vocab]
+    )
+    aligned_model = CellEmbeddingModel(aligned_vectors, local.vocab)
+    local_rows, local_columns = centroid_selection(
+        local,
+        aligned_model,
+        4,
+        3,
+        centroid_mode=config.centroid_mode,
+        column_mode=config.column_mode,
+        row_mode=config.row_mode,
+        n_init=config.kmeans_n_init,
+        seed=ensure_rng(config.seed),
+    )
+    assert result.row_indices == [int(i) for i in local_rows]
+    assert result.columns == local_columns
