@@ -19,7 +19,7 @@ if os.path.exists(_readme):
 
 setup(
     name="subtab-repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         'Reproduction of "Selecting Sub-tables for Data Exploration" '
         "(ICDE 2023) with a session-serving engine"

@@ -11,7 +11,10 @@ The package implements the SubTab framework end to end:
 * :mod:`repro.core` — the SubTab algorithm (Alg. 2) and display integration;
 * :mod:`repro.baselines` — RAN, NC, Greedy (Alg. 1), SemiGreedy, MAB, EmbDI;
 * :mod:`repro.queries` — SP query algebra and EDA-session simulation;
-* :mod:`repro.serve` — session-serving engine (cached vectors + selection LRU);
+* :mod:`repro.api` — the unified selector surface: ``Selector`` protocol,
+  string-keyed registry, typed requests/responses, and the ``Engine``
+  facade with persistable fitted artifacts;
+* :mod:`repro.serve` — session-serving shim over the Engine;
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's six datasets;
 * :mod:`repro.study` — simulated user study (Table 1, Fig. 5);
 * :mod:`repro.hardness` — executable reductions behind Propositions 4.1/4.2.
@@ -26,6 +29,15 @@ Quickstart::
     print(subtab.select(targets=["CANCELLED"]))
 """
 
+from repro.api import (
+    Engine,
+    SelectionRequest,
+    SelectionResponse,
+    Selector,
+    make_selector,
+    register_selector,
+    selector_names,
+)
 from repro.core import (
     ExplorationSession,
     SubTab,
@@ -38,15 +50,19 @@ from repro.metrics import Scores, SubTableScorer
 from repro.rules import AssociationRule, RuleMiner
 from repro.serve import SubTabService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssociationRule",
     "Column",
     "DataFrame",
+    "Engine",
     "ExplorationSession",
     "RuleMiner",
     "Scores",
+    "SelectionRequest",
+    "SelectionResponse",
+    "Selector",
     "SubTab",
     "SubTabConfig",
     "SubTabService",
@@ -54,6 +70,9 @@ __all__ = [
     "SubTableScorer",
     "__version__",
     "explore",
+    "make_selector",
     "read_csv",
+    "register_selector",
+    "selector_names",
     "to_csv",
 ]

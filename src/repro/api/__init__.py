@@ -1,0 +1,70 @@
+"""The unified selector API: protocol → registry → engine.
+
+Public surface::
+
+    from repro.api import (
+        Engine, SelectionRequest, SelectionResponse, Selector,
+        make_selector, register_selector, selector_names,
+        ArtifactError, load_artifact, save_artifact,
+        LRUCache, CacheStats, query_fingerprint,
+    )
+
+* :class:`Selector` — the structural protocol every algorithm satisfies
+  (``fit``/``prepare`` once, ``select`` per display);
+* :func:`make_selector` / :func:`register_selector` — the string-keyed
+  registry covering SubTab and all baselines, open to new backends;
+* :class:`SelectionRequest` / :class:`SelectionResponse` — typed
+  request/response objects with centralized validation;
+* :class:`Engine` — the serving facade: LRU-cached selection over any
+  registered selector, plus ``save``/``load`` of the fitted state so
+  restarts skip preprocessing.
+"""
+
+from repro.api.artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactError,
+    LoadedArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.api.cache import (
+    FULL_TABLE_FINGERPRINT,
+    CacheStats,
+    LRUCache,
+    query_fingerprint,
+)
+from repro.api.engine import Engine
+from repro.api.protocol import Selector
+from repro.api.registry import (
+    SelectorSpec,
+    make_selector,
+    register_selector,
+    resolve_name,
+    selector_names,
+    selector_spec,
+)
+from repro.api.request import SelectionRequest, SelectionResponse
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "CacheStats",
+    "Engine",
+    "FULL_TABLE_FINGERPRINT",
+    "LRUCache",
+    "LoadedArtifact",
+    "SelectionRequest",
+    "SelectionResponse",
+    "Selector",
+    "SelectorSpec",
+    "load_artifact",
+    "make_selector",
+    "query_fingerprint",
+    "register_selector",
+    "resolve_name",
+    "save_artifact",
+    "selector_names",
+    "selector_spec",
+]

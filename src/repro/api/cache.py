@@ -1,0 +1,113 @@
+"""Selection caching primitives shared by the Engine and the serving layer.
+
+Historically these lived in :mod:`repro.serve.service`; they moved here when
+the serving layer was re-layered on :class:`repro.api.Engine` so that the
+Engine (which every selector now runs behind) owns the memoization.  The
+:mod:`repro.serve` module keeps re-exporting them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+FULL_TABLE_FINGERPRINT = "<full-table>"
+
+
+def query_fingerprint(query: Any) -> str:
+    """A stable cache key for a query object.
+
+    ``None`` (the full table) has a fixed fingerprint.  Objects exposing
+    ``fingerprint()`` are asked directly; otherwise ``describe()`` (the
+    :class:`~repro.queries.ops.SPQuery` protocol, which renders predicates
+    with their values) is used, prefixed with the type name.  Custom query
+    classes should make ``describe()``/``fingerprint()`` injective over
+    semantically distinct queries — two queries with the same fingerprint
+    share a cache slot.
+
+    Queries exposing neither method are rejected: falling back to
+    ``repr()`` would embed memory addresses for classes without a custom
+    ``__repr__``, and a recycled address silently serves another query's
+    cached selection.
+    """
+    if query is None:
+        return FULL_TABLE_FINGERPRINT
+    fingerprint = getattr(query, "fingerprint", None)
+    if callable(fingerprint):
+        return str(fingerprint())
+    describe = getattr(query, "describe", None)
+    if callable(describe):
+        return f"{type(query).__name__}:{describe()}"
+    raise TypeError(
+        f"cannot fingerprint {type(query).__name__}: query objects served "
+        "through the Engine must expose fingerprint() or describe()"
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`LRUCache` (a snapshot, not a live view)."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A small least-recently-used map with hit/miss counters.
+
+    Plain ``OrderedDict`` bookkeeping — no threads, no TTL — because the
+    serving loop is synchronous; the interesting property is the eviction
+    order and the stats the benchmarks read.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )

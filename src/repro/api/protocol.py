@@ -1,0 +1,49 @@
+"""The unified ``Selector`` protocol (paper Algorithm 2's two-phase shape).
+
+Every selection algorithm in the repository — SubTab itself, the seven
+baselines, and anything registered by users — satisfies one structural
+protocol: a one-time preprocessing phase (``fit``, with ``prepare`` accepted
+as an alias for historical call sites) followed by per-display selection.
+The :class:`repro.api.Engine` drives any such object; the registry
+(:func:`repro.api.make_selector`) constructs them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.binning.pipeline import BinnedTable
+from repro.core.result import SubTable
+from repro.frame.frame import DataFrame
+
+
+@runtime_checkable
+class Selector(Protocol):
+    """Structural interface of a sub-table selection algorithm.
+
+    ``fit`` runs the one-time preprocessing phase over the full table
+    (optionally reusing a shared binning) and returns the selector;
+    ``select`` produces a k x l :class:`~repro.core.SubTable` of the table
+    or of a query result over it.  ``is_fitted`` reports whether the
+    preprocessing phase has run.
+    """
+
+    name: str
+
+    def fit(
+        self, frame: DataFrame, binned: Optional[BinnedTable] = None
+    ) -> "Selector":
+        ...
+
+    def select(
+        self,
+        k: int,
+        l: int,
+        query=None,
+        targets: Sequence[str] = (),
+    ) -> SubTable:
+        ...
+
+    @property
+    def is_fitted(self) -> bool:
+        ...

@@ -1,0 +1,129 @@
+"""Typed request/response objects for the Engine API.
+
+A :class:`SelectionRequest` captures everything a display needs — sub-table
+dimensions, the exploratory query, target columns, fairness constraint, and
+per-request mode overrides — in one validated value object, so every entry
+point (Engine, service, CLI, benchmarks) speaks the same vocabulary.  A
+:class:`SelectionResponse` pairs the selected
+:class:`~repro.core.SubTable` with timing and cache metadata, making the
+paper's preprocess/select split (Fig. 9) observable per request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.result import SubTable
+from repro.utils.validation import validate_selection_args
+
+#: Mode-override keys a request may carry; selectors declare the subset they
+#: support via ``supported_modes`` and reject the rest at select time.
+MODE_KEYS = ("row_mode", "column_mode", "centroid_mode")
+
+
+@dataclass(frozen=True)
+class SelectionRequest:
+    """One display's worth of selection arguments.
+
+    Attributes
+    ----------
+    k, l:
+        Requested sub-table dimensions; ``None`` defers to the engine
+        config's defaults.
+    query:
+        Optional selection-projection query (any object exposing
+        ``row_indices(frame)`` and ``output_columns(frame)``); ``None``
+        selects from the full table.
+    targets:
+        Target columns U*, always included among the selected columns.
+    fairness:
+        Optional :class:`~repro.core.fairness.GroupRepresentation`
+        constraint (embedding-based selectors only; never cached).
+    row_mode, column_mode, centroid_mode:
+        Per-request overrides of the configured selection modes; ``None``
+        keeps the configured value.
+    use_cache:
+        Whether the engine may serve/store this request from its LRU.
+    """
+
+    k: Optional[int] = None
+    l: Optional[int] = None
+    query: Any = None
+    targets: tuple = ()
+    fairness: Any = None
+    row_mode: Optional[str] = None
+    column_mode: Optional[str] = None
+    centroid_mode: Optional[str] = None
+    use_cache: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "targets", tuple(self.targets))
+        # Validate what is knowable without the engine's config; requests
+        # deferring k or l to the config are validated at serve time, after
+        # the defaults are resolved (same central validator either way).
+        if self.k is not None and self.l is not None:
+            validate_selection_args(self.k, self.l, self.targets)
+
+    def resolve(self, default_k: int, default_l: int) -> tuple[int, int]:
+        """The effective (k, l) given the engine config's defaults."""
+        return (
+            default_k if self.k is None else self.k,
+            default_l if self.l is None else self.l,
+        )
+
+    def mode_overrides(self) -> dict[str, str]:
+        """The non-``None`` mode overrides as a plain dict."""
+        overrides = {}
+        for key in MODE_KEYS:
+            value = getattr(self, key)
+            if value is not None:
+                overrides[key] = value
+        return overrides
+
+    def replace(self, **changes) -> "SelectionRequest":
+        """A copy of this request with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class SelectionResponse:
+    """A served selection plus its provenance.
+
+    Attributes
+    ----------
+    subtable:
+        The selected k x l sub-table.  Responses may share this object with
+        the engine's LRU — treat it as immutable.
+    request:
+        The request that produced it.
+    algorithm:
+        Canonical registry name of the algorithm that served it.
+    k, l:
+        The effective dimensions after applying config defaults.
+    cache_hit:
+        Whether the subtable came from the engine's LRU.
+    select_seconds:
+        Wall-clock spent in this call (≈0 on cache hits).
+    timings:
+        Engine-level timing metadata: the preprocess split recorded at
+        fit/load time plus this request's ``select_seconds`` — the paper's
+        Figure-9 decomposition, per request.
+    """
+
+    subtable: SubTable
+    request: SelectionRequest
+    algorithm: str
+    k: int
+    l: int
+    cache_hit: bool
+    select_seconds: float
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.subtable.shape
+
+    def __str__(self) -> str:
+        return str(self.subtable)

@@ -129,8 +129,9 @@ class GreedySelector(BaseSelector):
         max_combinations: Optional[int] = None,
         order: str = "lexicographic",
         seed=None,
+        binner=None,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, binner=binner)
         self._rules = list(rules) if rules is not None else None
         self._miner = miner
         self.time_budget = time_budget
@@ -194,6 +195,7 @@ class SemiGreedySelector(GreedySelector):
         time_budget: float = 5.0,
         max_combinations: Optional[int] = None,
         seed=None,
+        binner=None,
     ):
         super().__init__(
             rules=rules,
@@ -202,4 +204,5 @@ class SemiGreedySelector(GreedySelector):
             max_combinations=max_combinations,
             order="random",
             seed=seed,
+            binner=binner,
         )

@@ -75,8 +75,9 @@ class MABSelector(BaseSelector):
         scorer: SubTableScorer | None = None,
         miner: Optional[RuleMiner] = None,
         seed=None,
+        binner=None,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, binner=binner)
         if iterations < 1:
             raise ValueError("iterations must be positive")
         self.iterations = iterations

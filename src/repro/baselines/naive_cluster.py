@@ -87,8 +87,8 @@ class NaiveClusteringSelector(BaseSelector):
     name = "NC"
 
     def __init__(self, max_onehot: int = 30, sample_rows: int = 2000,
-                 n_init: int = 4, seed=None):
-        super().__init__(seed=seed)
+                 n_init: int = 4, seed=None, binner=None):
+        super().__init__(seed=seed, binner=binner)
         self.max_onehot = max_onehot
         self.sample_rows = sample_rows
         self.n_init = n_init

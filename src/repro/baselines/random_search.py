@@ -50,8 +50,9 @@ class RandomSelector(BaseSelector):
         scorer: SubTableScorer | None = None,
         miner: RuleMiner | None = None,
         seed=None,
+        binner=None,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, binner=binner)
         if time_budget <= 0:
             raise ValueError("time_budget must be positive")
         if max_draws is not None and max_draws < min_draws:

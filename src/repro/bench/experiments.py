@@ -507,7 +507,7 @@ class ServeSessionResult:
     """Latency split of the serving layer over replayed EDA sessions.
 
     ``cold_times`` holds one wall-clock sample per *distinct* session state
-    (every select runs the full clustering pipeline); ``cached_times`` holds
+    (every select runs the full selection pipeline); ``cached_times`` holds
     one sample per replayed step (every select is an LRU hit).  The ratio of
     the two means is the session-replay speedup the serving layer buys.
     """
@@ -517,6 +517,7 @@ class ServeSessionResult:
     k: int
     l: int
     fit_seconds: float
+    algorithm: str = "subtab"
     cold_times: list = field(default_factory=list)
     cached_times: list = field(default_factory=list)
     failures: int = 0
@@ -542,6 +543,7 @@ class ServeSessionResult:
         """JSON-serializable record for the benchmark trajectory."""
         return {
             "experiment": "serve_sessions",
+            "algorithm": self.algorithm,
             "dataset": self.dataset,
             "n_sessions": self.n_sessions,
             "k": self.k,
@@ -569,8 +571,8 @@ class ServeSessionResult:
             ],
         ]
         table = format_table(
-            f"Session serving latency ({self.dataset}, {self.n_sessions} sessions, "
-            f"k={self.k}, l={self.l})",
+            f"Session serving latency ({self.algorithm} on {self.dataset}, "
+            f"{self.n_sessions} sessions, k={self.k}, l={self.l})",
             ["pass", "# selects", "total s", "mean s"],
             rows,
         )
@@ -590,21 +592,30 @@ def run_serve_session_experiment(
     n_rows: Optional[int] = None,
     cache_size: int = 1024,
     subtab_config: Optional[SubTabConfig] = None,
+    algorithm: str = "subtab",
+    selector_options: Optional[dict] = None,
 ) -> ServeSessionResult:
     """Measure cold vs. cached ``select()`` latency over EDA sessions.
 
     Cold pass: every *distinct* session state is selected once with an empty
     LRU (full pipeline per call).  Cached pass: the sessions are then
     replayed step by step, so every select is answered from the LRU — the
-    serving layer's session-replay path.
+    serving layer's session-replay path.  Since the serving layer moved to
+    :class:`repro.api.Engine`, any registered ``algorithm`` can be measured,
+    not just subtab.
     """
-    from repro.serve import SubTabService, query_fingerprint
+    from repro.api import Engine, SelectionRequest, query_fingerprint
 
     bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
     config = subtab_config or SubTabConfig(k=k, l=l, seed=seed)
-    service = SubTabService(config=config, cache_size=cache_size)
+    engine = Engine(
+        algorithm,
+        config=config,
+        selector_options=selector_options,
+        cache_size=cache_size,
+    )
     fit_start = time.perf_counter()
-    service.fit(bundle.frame, binned=bundle.binned)
+    engine.fit(bundle.frame, binned=bundle.binned)
     fit_seconds = time.perf_counter() - fit_start
 
     sessions = SessionGenerator(
@@ -619,10 +630,11 @@ def run_serve_session_experiment(
         k=k,
         l=l,
         fit_seconds=fit_seconds,
+        algorithm=engine.algorithm,
     )
 
     # Cold pass: one select per distinct state, nothing memoized yet.
-    service.clear_cache()
+    engine.clear_cache()
     seen: set = set()
     distinct_states = []
     for session in sessions:
@@ -634,7 +646,7 @@ def run_serve_session_experiment(
     for state in distinct_states:
         start = time.perf_counter()
         try:
-            service.select(k=k, l=l, query=state)
+            engine.select(SelectionRequest(k=k, l=l, query=state))
         except ValueError:
             result.failures += 1
             continue
@@ -645,12 +657,12 @@ def run_serve_session_experiment(
         for step in session:
             start = time.perf_counter()
             try:
-                service.select(k=k, l=l, query=step.state)
+                engine.select(SelectionRequest(k=k, l=l, query=step.state))
             except ValueError:
                 continue
             result.cached_times.append(time.perf_counter() - start)
 
-    stats = service.cache_stats
+    stats = engine.cache_stats
     result.cache = {
         "hits": stats.hits,
         "misses": stats.misses,

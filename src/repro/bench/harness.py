@@ -17,13 +17,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.api.registry import make_selector as make_registry_selector
+from repro.api.registry import resolve_name
 from repro.baselines.base import BaseSelector
-from repro.baselines.embdi_baseline import EmbDISelector
-from repro.baselines.greedy import GreedySelector, SemiGreedySelector
-from repro.baselines.mab import MABSelector
-from repro.baselines.naive_cluster import NaiveClusteringSelector
-from repro.baselines.random_search import RandomSelector
-from repro.baselines.subtab_adapter import SubTabSelector
 from repro.binning.normalize import normalize_table
 from repro.binning.pipeline import BinnedTable, TableBinner
 from repro.core.config import SubTabConfig
@@ -120,30 +116,30 @@ def make_selector(
 ) -> BaseSelector:
     """Build + prepare one selector on the bundle's shared binning.
 
+    A thin wrapper over the :mod:`repro.api` registry that fills in the
+    benchmark-scale budgets and shares the bundle's scorer/rules so no
+    selector re-mines them.
+
     ``ran_draws`` defaults to 12: at the paper's table sizes one combined-
     score evaluation costs seconds, so RAN's one-minute loop amounts to a
     dozen draws; on benchmark-scale tables scoring is near-free and an
     uncapped RAN would degenerate into direct metric optimization.
     """
-    kind_lower = kind.lower()
-    if kind_lower == "subtab":
-        selector = SubTabSelector(subtab_config or SubTabConfig(seed=seed))
-    elif kind_lower == "ran":
-        selector = RandomSelector(
+    kind_lower = resolve_name(kind)
+    config = subtab_config or SubTabConfig(seed=seed)
+    options: dict = {}
+    if kind_lower == "ran":
+        options = dict(
             time_budget=ran_budget,
             min_draws=min(30, ran_draws),
             max_draws=ran_draws,
             scorer=bundle.scorer(),
             seed=seed,
         )
-    elif kind_lower == "nc":
-        selector = NaiveClusteringSelector(seed=seed)
     elif kind_lower == "mab":
-        selector = MABSelector(
-            iterations=mab_iterations, scorer=bundle.scorer(), seed=seed
-        )
+        options = dict(iterations=mab_iterations, scorer=bundle.scorer(), seed=seed)
     elif kind_lower == "greedy":
-        selector = GreedySelector(
+        options = dict(
             rules=bundle.scorer().rules,
             time_budget=greedy_budget,
             max_combinations=greedy_max_combinations,
@@ -151,16 +147,17 @@ def make_selector(
             seed=seed,
         )
     elif kind_lower == "semigreedy":
-        selector = SemiGreedySelector(
+        options = dict(
             rules=bundle.scorer().rules,
             time_budget=greedy_budget or 5.0,
             max_combinations=greedy_max_combinations,
             seed=seed,
         )
     elif kind_lower == "embdi":
-        selector = EmbDISelector(walks_per_node=embdi_walks, seed=seed)
-    else:
-        raise ValueError(f"unknown selector kind {kind!r}")
+        options = dict(walks_per_node=embdi_walks, seed=seed)
+    elif kind_lower == "nc":
+        options = dict(seed=seed)
+    selector = make_registry_selector(kind_lower, config, **options)
     selector.prepare(bundle.frame, binned=bundle.binned)
     return selector
 

@@ -286,6 +286,20 @@ class TableBinner:
         self.max_categories = max_categories
         self.seed = seed
 
+    @classmethod
+    def from_config(cls, config) -> "TableBinner":
+        """Binner configured from any object carrying the binning knobs
+        (``n_bins``/``bin_strategy``/``max_categories``/``seed`` — e.g. a
+        :class:`~repro.core.config.SubTabConfig`).  The single place the
+        config-to-binner mapping lives, shared by SubTab, the selector
+        base class, and the Engine."""
+        return cls(
+            n_bins=config.n_bins,
+            strategy=config.bin_strategy,
+            max_categories=config.max_categories,
+            seed=config.seed,
+        )
+
     def bin_column(self, column) -> ColumnBinning:
         """Choose and apply the right strategy for one column."""
         if column.is_numeric:

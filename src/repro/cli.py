@@ -2,16 +2,24 @@
 
 Commands:
 
-* ``show`` — print the informative sub-table of a CSV file (or of a named
-  synthetic dataset), optionally with target columns;
+* ``show`` — print the informative sub-table of a CSV file, a named
+  synthetic dataset, or a saved engine artifact, with any registered
+  selection algorithm;
+* ``fit`` — preprocess a table once and save the fitted engine artifact;
+* ``serve`` — load a saved artifact and serve generated exploration
+  sessions from it, printing the latency/cache split;
 * ``experiment`` — run one of the paper's experiments and print its
   table/figure;
-* ``datasets`` — list the available synthetic datasets.
+* ``datasets`` — list the available synthetic datasets;
+* ``algorithms`` — list the registered selection algorithms.
 
 Examples::
 
     python -m repro show --dataset flights --rows 5000 --targets CANCELLED
-    python -m repro show --csv mydata.csv -k 8 -l 8
+    python -m repro show --csv mydata.csv -k 8 -l 8 --algorithm nc
+    python -m repro fit --dataset cyber --rows 2000 --out /tmp/cyber-engine
+    python -m repro show --artifact /tmp/cyber-engine
+    python -m repro serve --artifact /tmp/cyber-engine --sessions 5
     python -m repro experiment fig8 --rows 1500
 """
 
@@ -20,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import Engine, SelectionRequest, selector_names, selector_spec
 from repro.bench import (
     run_parameter_tuning_experiment,
     run_quality_experiment,
@@ -28,7 +37,7 @@ from repro.bench import (
     run_slow_baselines_experiment,
     run_user_study_experiment,
 )
-from repro.core import SubTab, SubTabConfig
+from repro.core import SubTabConfig
 from repro.datasets import dataset_names, dataset_spec, make_dataset
 from repro.frame.io import read_csv
 
@@ -43,6 +52,26 @@ EXPERIMENTS = {
 }
 
 
+def _add_source_arguments(parser, require: bool = True, artifact: bool = False) -> None:
+    source = parser.add_mutually_exclusive_group(required=require)
+    source.add_argument("--csv", help="path to a CSV file with a header row")
+    source.add_argument("--dataset", help="name of a synthetic dataset")
+    if artifact:
+        source.add_argument("--artifact",
+                            help="path to a saved engine artifact directory")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="rows to synthesize (datasets only)")
+
+
+def _add_selection_arguments(parser) -> None:
+    parser.add_argument("-k", type=int, default=10, help="sub-table rows")
+    parser.add_argument("-l", type=int, default=10, help="sub-table columns")
+    parser.add_argument("--algorithm", default=None,
+                        help="registered selection algorithm (see `algorithms`; "
+                             "default: subtab, or the artifact's algorithm)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -51,16 +80,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     show = sub.add_parser("show", help="display an informative sub-table")
-    source = show.add_mutually_exclusive_group(required=True)
-    source.add_argument("--csv", help="path to a CSV file with a header row")
-    source.add_argument("--dataset", help="name of a synthetic dataset")
-    show.add_argument("--rows", type=int, default=None,
-                      help="rows to synthesize (datasets only)")
-    show.add_argument("-k", type=int, default=10, help="sub-table rows")
-    show.add_argument("-l", type=int, default=10, help="sub-table columns")
+    _add_source_arguments(show, artifact=True)
+    _add_selection_arguments(show)
     show.add_argument("--targets", nargs="*", default=[],
                       help="target columns forced into the selection")
-    show.add_argument("--seed", type=int, default=0)
+
+    fit = sub.add_parser(
+        "fit", help="preprocess a table and save the fitted engine artifact"
+    )
+    _add_source_arguments(fit)
+    _add_selection_arguments(fit)
+    fit.add_argument("--out", required=True,
+                     help="directory to write the artifact to")
+
+    serve = sub.add_parser(
+        "serve", help="serve exploration sessions from a saved artifact"
+    )
+    serve.add_argument("--artifact", required=True,
+                       help="path to a saved engine artifact directory")
+    serve.add_argument("--sessions", type=int, default=3,
+                       help="synthetic exploration sessions to serve")
+    serve.add_argument("-k", type=int, default=None, help="sub-table rows")
+    serve.add_argument("-l", type=int, default=None, help="sub-table columns")
+    serve.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS.keys()))
@@ -69,21 +111,89 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("datasets", help="list synthetic datasets")
+    sub.add_parser("algorithms", help="list registered selection algorithms")
     return parser
 
 
-def _cmd_show(args) -> int:
+def _load_source(args) -> tuple:
+    """(frame, default targets) from --csv or --dataset."""
     if args.csv:
-        frame = read_csv(args.csv)
-        targets = list(args.targets)
+        return read_csv(args.csv), []
+    dataset = make_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    return dataset.frame, list(dataset.target_columns)
+
+
+def _build_engine(args) -> Engine:
+    config = SubTabConfig(k=args.k, l=args.l, seed=args.seed)
+    return Engine(args.algorithm or "subtab", config=config)
+
+
+def _cmd_show(args) -> int:
+    targets = list(args.targets)
+    if args.artifact:
+        # An explicit --algorithm overrides the artifact's persisted one
+        # (the preprocessed state is algorithm-independent).
+        engine = Engine.load(args.artifact, algorithm=args.algorithm)
+        print(f"Artifact: {args.artifact} (algorithm={engine.algorithm}, "
+              f"loaded in {engine.timings_['artifact_load']:.2f}s, "
+              f"pre-processing skipped)")
     else:
-        dataset = make_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-        frame = dataset.frame
-        targets = list(args.targets) or dataset.target_columns
+        frame, default_targets = _load_source(args)
+        targets = targets or default_targets
+        print(f"Table: {frame.n_rows} rows x {frame.n_cols} columns")
+        engine = _build_engine(args)
+        engine.fit(frame)
+        print(f"Pre-processing ({engine.algorithm}): "
+              f"{engine.timings_['preprocess_total']:.1f}s\n")
+    response = engine.select(
+        SelectionRequest(k=args.k, l=args.l, targets=tuple(targets))
+    )
+    print(response.subtable)
+    print(f"\n[select: {response.select_seconds:.3f}s]")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    frame, _ = _load_source(args)
     print(f"Table: {frame.n_rows} rows x {frame.n_cols} columns")
-    subtab = SubTab(SubTabConfig(k=args.k, l=args.l, seed=args.seed)).fit(frame)
-    print(f"Pre-processing: {subtab.timings_['preprocess_total']:.1f}s\n")
-    print(subtab.select(targets=targets))
+    engine = _build_engine(args)
+    engine.fit(frame)
+    engine.save(args.out)
+    print(f"Pre-processing ({engine.algorithm}): "
+          f"{engine.timings_['preprocess_total']:.1f}s")
+    print(f"Saved fitted engine to {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.queries.generator import SessionGenerator
+
+    engine = Engine.load(args.artifact)
+    print(f"Artifact: {args.artifact} (algorithm={engine.algorithm}, "
+          f"loaded in {engine.timings_['artifact_load']:.2f}s, "
+          f"pre-processing skipped)")
+    sessions = SessionGenerator(engine.binned, seed=args.seed).generate(
+        args.sessions
+    )
+    served = failures = 0
+    total_seconds = 0.0
+    for session in sessions:
+        for step in session:
+            request = SelectionRequest(k=args.k, l=args.l, query=step.state)
+            try:
+                response = engine.select(request)
+            except ValueError:
+                failures += 1
+                continue
+            served += 1
+            total_seconds += response.select_seconds
+    stats = engine.cache_stats
+    mean_ms = 1000.0 * total_seconds / served if served else 0.0
+    print(f"Served {served} displays over {args.sessions} sessions "
+          f"({failures} degenerate states skipped)")
+    print(f"mean select latency: {mean_ms:.2f} ms   "
+          f"cache: hits={stats.hits} misses={stats.misses} "
+          f"hit_rate={stats.hit_rate:.0%}")
     return 0
 
 
@@ -106,12 +216,26 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _cmd_algorithms() -> int:
+    for name in selector_names():
+        spec = selector_spec(name)
+        speed = "interactive" if spec.interactive else "slow"
+        print(f"{name:12s} [{speed:11s}] {spec.description}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "show":
         return _cmd_show(args)
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "algorithms":
+        return _cmd_algorithms()
     return _cmd_datasets()
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.binning.strategies import KDE
 from repro.cluster.centroids import NEAREST
@@ -12,6 +12,7 @@ from repro.embedding.corpus import (
     ROWS_ONLY,
 )
 from repro.embedding.word2vec import Word2VecConfig
+from repro.utils.validation import validate_selection_args
 
 WORD2VEC = "word2vec"
 PMI_SVD = "pmi"
@@ -83,7 +84,31 @@ class SubTabConfig:
     seed: int = 0
 
     def __post_init__(self):
-        if self.k < 1 or self.l < 1:
-            raise ValueError(f"sub-table dimensions must be positive, got k={self.k}, l={self.l}")
+        validate_selection_args(self.k, self.l)
         if self.embedder not in _EMBEDDERS:
             raise ValueError(f"unknown embedder {self.embedder!r}; expected one of {_EMBEDDERS}")
+
+    # -- serialization (Engine artifacts) -------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable mapping of every knob (nested configs included)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SubTabConfig":
+        """Rebuild a config saved by :meth:`to_dict`.
+
+        Unknown keys raise so stale artifacts written by an incompatible
+        version fail loudly instead of silently dropping knobs.
+        """
+        data = dict(payload)
+        word2vec = data.pop("word2vec", None)
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SubTabConfig fields {sorted(unknown)}; artifact was "
+                "written by an incompatible version"
+            )
+        if word2vec is not None:
+            data["word2vec"] = Word2VecConfig(**word2vec)
+        return cls(**data)

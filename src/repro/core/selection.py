@@ -32,6 +32,7 @@ from repro.cluster.centroids import NEAREST, select_representatives
 from repro.cluster.kmeans import KMeans
 from repro.embedding.model import CellEmbeddingModel
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import validate_selection_args
 
 DISPERSION = "dispersion"
 CENTROID = "centroid"
@@ -187,7 +188,7 @@ def centroid_selection(
     targets: Sequence[str] = (),
     centroid_mode: str = NEAREST,
     column_mode: str = DISPERSION,
-    row_mode: str = "mass",
+    row_mode: str = "cluster",
     n_init: int = 4,
     seed=None,
     row_vectors: "np.ndarray | None" = None,
@@ -195,29 +196,24 @@ def centroid_selection(
     """Pick (row positions within ``view``, column names) for a k x l sub-table.
 
     Row positions are local to ``view``; callers translate them to full-table
-    indices when the view is a query result.  ``row_mode="cluster"`` is the
-    literal Algorithm-2 row stage (one representative per cluster, chosen by
-    ``centroid_mode``); ``row_mode="mass"`` (default) allocates the row
-    budget across clusters by signal mass, matching the column stage.
+    indices when the view is a query result.  ``row_mode="cluster"``
+    (default, matching :class:`~repro.core.config.SubTabConfig` — the config
+    is the single source of truth for pipeline defaults) is the literal
+    Algorithm-2 row stage (one representative per cluster, chosen by
+    ``centroid_mode``); ``row_mode="mass"`` allocates the row budget across
+    clusters by signal mass, matching the column stage (ablation).
 
     ``row_vectors`` optionally supplies the view's (n, d) tuple-vectors,
     letting callers that cache full-table vectors (the serving layer) skip
     the per-query pooling; when omitted they are computed from the model.
     """
-    if k < 1 or l < 1:
-        raise ValueError(f"sub-table dimensions must be positive, got k={k}, l={l}")
     if column_mode not in _COLUMN_MODES:
         raise ValueError(
             f"unknown column_mode {column_mode!r}; expected one of {_COLUMN_MODES}"
         )
     if row_mode not in _ROW_MODES:
         raise ValueError(f"unknown row_mode {row_mode!r}; expected one of {_ROW_MODES}")
-    targets = list(targets)
-    missing = [t for t in targets if t not in view.columns]
-    if missing:
-        raise ValueError(f"target columns {missing} are not in the view")
-    if len(targets) > l:
-        raise ValueError(f"cannot fit {len(targets)} target columns into l={l} columns")
+    targets = validate_selection_args(k, l, targets, columns=view.columns)
     rng = ensure_rng(seed)
 
     if row_vectors is None:

@@ -35,6 +35,7 @@ from repro.embedding.word2vec import Word2Vec
 from repro.frame.frame import DataFrame
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import timed
+from repro.utils.validation import validate_selection_args
 
 
 class NotFittedError(RuntimeError):
@@ -62,15 +63,28 @@ class SubTab:
         self.timings_: dict[str, float] = {}
 
     # -- phase 1: pre-processing -------------------------------------------------
-    def fit(self, frame: DataFrame, binned: Optional[BinnedTable] = None) -> "SubTab":
+    def fit(
+        self,
+        frame: DataFrame,
+        binned: Optional[BinnedTable] = None,
+        model: Optional[CellEmbeddingModel] = None,
+    ) -> "SubTab":
         """Pre-process ``frame``: normalize, bin, embed.  Returns ``self``.
 
         A pre-computed ``binned`` table may be supplied (experiments share
         one binning across algorithms); normalization and binning are then
-        skipped and only the embedding is trained.
+        skipped and only the embedding is trained.  A pre-trained ``model``
+        may additionally be supplied (artifact restore via
+        :class:`repro.api.Engine`); it must have been trained on ``binned``'s
+        token space, and the embedding phase is then skipped entirely.
         """
         config = self.config
         rng = ensure_rng(config.seed)
+        if model is not None and binned is None:
+            raise ValueError(
+                "a pre-trained model requires the binned table it was trained "
+                "on; pass binned= alongside model="
+            )
         with timed(self.timings_, "preprocess_total"):
             if binned is not None:
                 normalized = binned.frame
@@ -80,36 +94,43 @@ class SubTab:
                 with timed(self.timings_, "preprocess_normalize"):
                     normalized = normalize_table(frame)
                 with timed(self.timings_, "preprocess_binning"):
-                    binner = TableBinner(
-                        n_bins=config.n_bins,
-                        strategy=config.bin_strategy,
-                        max_categories=config.max_categories,
-                        seed=config.seed,
+                    binned = TableBinner.from_config(config).bin_table(normalized)
+            if model is not None:
+                if model.vocab_fingerprint != binned.vocab_fingerprint:
+                    raise ValueError(
+                        "pre-trained model's vocabulary does not match the "
+                        "binned table; its token ids would index the wrong "
+                        "vectors"
                     )
-                    binned = binner.bin_table(normalized)
-            with timed(self.timings_, "preprocess_embedding"):
-                sentences = build_corpus(
-                    binned,
-                    mode=config.corpus_mode,
-                    max_sentences=config.max_sentences,
-                    column_chunk=config.column_chunk,
-                    seed=rng,
-                )
-                if config.embedder == PMI_SVD:
-                    model = train_pmi_embedding(
-                        sentences, binned.vocab,
-                        dim=config.word2vec.dim, seed=config.seed,
+                self.timings_["preprocess_embedding"] = 0.0
+            else:
+                with timed(self.timings_, "preprocess_embedding"):
+                    sentences = build_corpus(
+                        binned,
+                        mode=config.corpus_mode,
+                        max_sentences=config.max_sentences,
+                        column_chunk=config.column_chunk,
+                        seed=rng,
                     )
-                else:
-                    trainer = Word2Vec(
-                        binned.n_tokens, config=config.word2vec, seed=rng
-                    )
-                    trainer.train(sentences)
-                    model = CellEmbeddingModel(trainer.vectors, binned.vocab)
+                    if config.embedder == PMI_SVD:
+                        model = train_pmi_embedding(
+                            sentences, binned.vocab,
+                            dim=config.word2vec.dim, seed=config.seed,
+                        )
+                    else:
+                        trainer = Word2Vec(
+                            binned.n_tokens, config=config.word2vec, seed=rng
+                        )
+                        trainer.train(sentences)
+                        model = CellEmbeddingModel(trainer.vectors, binned.vocab)
         self._frame = normalized
         self._binned = binned
         self._model = model
         return self
+
+    # ``prepare`` is the :class:`repro.api.Selector`-protocol spelling of the
+    # pre-processing phase; SubTab and the baselines answer to both names.
+    prepare = fit
 
     # -- fitted-state accessors ---------------------------------------------------
     @property
@@ -171,8 +192,7 @@ class SubTab:
         config = self.config
         k = config.k if k is None else k
         l = config.l if l is None else l
-        if k < 1 or l < 1:
-            raise ValueError(f"sub-table dimensions must be positive, got k={k}, l={l}")
+        targets = validate_selection_args(k, l, targets)
 
         with timed(self.timings_, "select"):
             rows, columns = self._apply_query(query)

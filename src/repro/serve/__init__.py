@@ -1,23 +1,18 @@
-"""Session-serving layer for SubTab (the ROADMAP's scale direction).
+"""Session-serving layer for SubTab (compatibility shim over repro.api).
 
 Public surface::
 
     from repro.serve import SubTabService, LRUCache, query_fingerprint
 
-:class:`SubTabService` wraps a fitted SubTab pipeline behind a
-request/response interface tuned for interactive exploration sessions: the
-full table's cell vectors are computed exactly once at fit time, every query
-result's tuple-vectors are served by slicing that cache, and repeated
-requests (session replay, back-navigation, dashboards polling the same
-query) hit an LRU of finished selections.
+:class:`SubTabService` is now a thin wrapper over :class:`repro.api.Engine`
+fixed to the ``subtab`` algorithm; the cache primitives re-exported here
+live in :mod:`repro.api.cache`.  New code should prefer the Engine — it
+serves any registered selector, takes typed requests, and persists its
+fitted state.
 """
 
-from repro.serve.service import (
-    CacheStats,
-    LRUCache,
-    SubTabService,
-    query_fingerprint,
-)
+from repro.api.cache import CacheStats, LRUCache, query_fingerprint
+from repro.serve.service import SubTabService
 
 __all__ = [
     "CacheStats",

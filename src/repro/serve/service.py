@@ -1,147 +1,51 @@
 """SubTabService — serve per-query sub-table selections at session scale.
 
-The paper's interactivity argument (Alg. 2 / Fig. 9) is that the cell
-embedding is trained once and every query display is served by slicing the
-token matrix.  This module pushes that argument to its serving-layer
-conclusion:
+Since the Engine API landed, this module is a thin compatibility layer:
+:class:`SubTabService` is an :class:`repro.api.Engine` fixed to the
+``subtab`` algorithm that keeps the original ``select(k, l, query,
+targets) -> SubTable`` signature and accessors.  The mechanics it used to
+implement locally now live where every algorithm benefits from them:
 
-* **Shared token space.**  Query views produced by
-  :meth:`~repro.binning.pipeline.BinnedTable.subset` gather the parent's
-  global token ids, so the one trained model is valid on every view.
-* **Cached vectors.**  At fit time the service materializes the full-table
-  tuple-vectors ``(n, d)`` once; any query that keeps all columns (the
-  common filter-only shape) is served by slicing that cache.  Projected
-  views gather straight from the model's ``(vocab, d)`` vectors — O(vocab)
-  resident memory, never an O(n * m * d) tensor.
-* **Selection memoization.**  Finished selections are memoized in an LRU
-  keyed by ``(query fingerprint, k, l, targets)``.  EDA sessions revisit
-  states constantly (back-navigation, replay, shared dashboards); a revisit
-  is served from the cache without touching the selection pipeline.
+* the LRU memoization of finished selections is the Engine's
+  (:mod:`repro.api.cache`), keyed by query fingerprint + dimensions +
+  targets + mode overrides, for *any* registered selector;
+* the precomputed full-table tuple-vector cache and the filter-only
+  fast path are :class:`~repro.baselines.subtab_adapter.SubTabSelector`'s
+  (``view_row_vectors``), bit-identical to the cold pipeline's vectors.
 
-The service exposes the same ``select(k, l, query=..., targets=...)``
-protocol as :class:`~repro.core.subtab.SubTab` and the baseline selectors,
-so session replay and the experiment harness can drive it unchanged — and
-its results are bit-identical to the cold pipeline's (the cached vectors are
-the same floats the model would produce).
+New code should use :class:`repro.api.Engine` directly — it adds typed
+requests/responses, per-request mode overrides, and artifact save/load.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.binning.pipeline import normalize_row_indices
+from repro.api.cache import (
+    FULL_TABLE_FINGERPRINT,
+    CacheStats,
+    LRUCache,
+    query_fingerprint,
+)
+from repro.api.engine import Engine
+from repro.api.request import SelectionRequest
+from repro.baselines.subtab_adapter import SubTabSelector
 from repro.core.config import SubTabConfig
-from repro.core.result import SubTable, subtable_from_selection
-from repro.core.selection import centroid_selection
+from repro.core.result import SubTable
 from repro.core.subtab import SubTab
-from repro.utils.rng import ensure_rng
 
-FULL_TABLE_FINGERPRINT = "<full-table>"
-
-
-def query_fingerprint(query: Any) -> str:
-    """A stable cache key for a query object.
-
-    ``None`` (the full table) has a fixed fingerprint.  Objects exposing
-    ``fingerprint()`` are asked directly; otherwise ``describe()`` (the
-    :class:`~repro.queries.ops.SPQuery` protocol, which renders predicates
-    with their values) is used, prefixed with the type name.  Custom query
-    classes should make ``describe()``/``fingerprint()`` injective over
-    semantically distinct queries — two queries with the same fingerprint
-    share a cache slot.
-
-    Queries exposing neither method are rejected: falling back to
-    ``repr()`` would embed memory addresses for classes without a custom
-    ``__repr__``, and a recycled address silently serves another query's
-    cached selection.
-    """
-    if query is None:
-        return FULL_TABLE_FINGERPRINT
-    fingerprint = getattr(query, "fingerprint", None)
-    if callable(fingerprint):
-        return str(fingerprint())
-    describe = getattr(query, "describe", None)
-    if callable(describe):
-        return f"{type(query).__name__}:{describe()}"
-    raise TypeError(
-        f"cannot fingerprint {type(query).__name__}: query objects served "
-        "through SubTabService must expose fingerprint() or describe()"
-    )
+__all__ = [
+    "CacheStats",
+    "FULL_TABLE_FINGERPRINT",
+    "LRUCache",
+    "SubTabService",
+    "query_fingerprint",
+]
 
 
-@dataclass
-class CacheStats:
-    """Counters of one :class:`LRUCache` (a snapshot, not a live view)."""
-
-    hits: int
-    misses: int
-    size: int
-    maxsize: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
-class LRUCache:
-    """A small least-recently-used map with hit/miss counters.
-
-    Plain ``OrderedDict`` bookkeeping — no threads, no TTL — because the
-    serving loop is synchronous; the interesting property is the eviction
-    order and the stats the benchmarks read.
-    """
-
-    def __init__(self, maxsize: int = 256):
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-
-    def get(self, key: Hashable) -> Optional[Any]:
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
-
-    @property
-    def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._entries),
-            maxsize=self.maxsize,
-        )
-
-
-class SubTabService:
+class SubTabService(Engine):
     """Serves sub-table selections for exploration sessions over one table.
 
     >>> from repro.frame import DataFrame
@@ -179,84 +83,27 @@ class SubTabService:
     ):
         if subtab is not None and config is not None:
             raise ValueError("pass either config or a subtab, not both")
-        self._subtab = subtab if subtab is not None else SubTab(config)
-        self._cache = LRUCache(cache_size)
-        self._row_vectors: Optional[np.ndarray] = None
-        self._column_index: dict[str, int] = {}
-        if self._subtab.is_fitted:
-            self._precompute()
-
-    # -- lifecycle ---------------------------------------------------------------
-    def fit(self, frame, binned=None) -> "SubTabService":
-        """Fit the underlying pipeline and precompute the vector caches."""
-        self._subtab.fit(frame, binned=binned)
-        self._precompute()
-        return self
-
-    def _precompute(self) -> None:
-        subtab = self._subtab
-        binned = subtab.binned
-        # The full-table tuple-vectors, computed once; filter-only queries
-        # (all columns kept) are served by slicing this (n, d) array.
-        self._row_vectors = subtab.model.row_vectors(binned)
-        self._column_index = {name: j for j, name in enumerate(binned.columns)}
-        self._cache.clear()
+        selector = SubTabSelector(subtab=subtab) if subtab is not None else None
+        super().__init__(
+            algorithm="subtab",
+            config=selector.config if selector is not None else config,
+            selector=selector,
+            cache_size=cache_size,
+        )
 
     @property
     def subtab(self) -> SubTab:
-        return self._subtab
-
-    @property
-    def config(self) -> SubTabConfig:
-        return self._subtab.config
-
-    @property
-    def is_fitted(self) -> bool:
-        return self._subtab.is_fitted and self._row_vectors is not None
-
-    @property
-    def cache_stats(self) -> CacheStats:
-        return self._cache.stats
-
-    def clear_cache(self) -> None:
-        self._cache.clear()
+        return self._selector.subtab
 
     # -- vector cache ------------------------------------------------------------
     def view_row_vectors(self, rows: np.ndarray, columns: Sequence[str]) -> np.ndarray:
         """(len(rows), d) tuple-vectors of the query view.
 
-        Bit-identical to ``model.row_vectors(binned.subset(rows, columns))``:
-        views gather global token ids, so slicing commutes with the
-        embedding lookup.  Queries keeping every column (in table order) hit
-        the precomputed full-table tuple-vectors; projections gather from
-        the model's token vectors directly.
+        Delegates to the selector's cached fast path — bit-identical to
+        ``model.row_vectors(binned.subset(rows, columns))``.
         """
         self._require_fitted()
-        rows = normalize_row_indices(rows)
-        col_idx = np.array(
-            [self._column_index[name] for name in columns], dtype=np.int64
-        )
-        if self._keeps_all_columns(col_idx):
-            return self._row_vectors[rows]
-        binned = self._subtab.binned
-        model = self._subtab.model
-        return model.vectors[binned.token_ids[np.ix_(rows, col_idx)]].mean(axis=1)
-
-    def _keeps_all_columns(self, col_idx: np.ndarray) -> bool:
-        """Whether a column selection is the full table in table order."""
-        return len(col_idx) == len(self._column_index) and np.array_equal(
-            col_idx, np.arange(len(col_idx))
-        )
-
-    def _view_row_vectors(self, view) -> np.ndarray:
-        """Tuple-vectors of an already-built view, without re-gathering ids."""
-        if self._keeps_all_columns(view.column_indices):
-            return self._row_vectors[view.row_indices]
-        return self._subtab.model.vectors[view.token_ids].mean(axis=1)
-
-    def _require_fitted(self) -> None:
-        if not self.is_fitted:
-            raise RuntimeError("call fit(frame) before serving selections")
+        return self._selector.view_row_vectors(rows, columns)
 
     # -- serving -----------------------------------------------------------------
     def select(
@@ -272,47 +119,13 @@ class SubTabService:
         ``(k, l, query, targets)`` subset; repeated calls with an
         equivalent combination are served from the LRU without re-running
         clustering.  Fairness-constrained selection is not cached — use
-        :meth:`SubTab.select` with ``fairness=...`` directly for that.
+        :meth:`SubTab.select` with ``fairness=...`` directly, or an
+        :class:`~repro.api.Engine` request.
 
         Served :class:`SubTable` objects are shared with the cache: treat
         them as immutable.  Mutating a returned result (its
         ``row_indices``, ``columns``, ``targets`` lists or its frame)
         would corrupt the cached entry for every later request.
         """
-        self._require_fitted()
-        subtab = self._subtab
-        config = subtab.config
-        k = config.k if k is None else k
-        l = config.l if l is None else l
-        if k < 1 or l < 1:
-            raise ValueError(
-                f"sub-table dimensions must be positive, got k={k}, l={l}"
-            )
-        targets = tuple(targets)
-        key = (query_fingerprint(query), k, l, targets)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        rows, columns = subtab._apply_query(query)
-        view = subtab.binned.subset(rows=rows, columns=columns)
-        row_vectors = self._view_row_vectors(view)
-        local_rows, selected_columns = centroid_selection(
-            view,
-            subtab.model,
-            k,
-            l,
-            targets=list(targets),
-            centroid_mode=config.centroid_mode,
-            column_mode=config.column_mode,
-            row_mode=config.row_mode,
-            n_init=config.kmeans_n_init,
-            seed=ensure_rng(config.seed),
-            row_vectors=row_vectors,
-        )
-        selected_rows = [int(rows[i]) for i in local_rows]
-        result = subtable_from_selection(
-            subtab.frame, selected_rows, selected_columns, targets=list(targets)
-        )
-        self._cache.put(key, result)
-        return result
+        request = SelectionRequest(k=k, l=l, query=query, targets=tuple(targets))
+        return super().select(request).subtable

@@ -7,6 +7,7 @@ from repro.utils.validation import (
     require_positive_int,
     require_in_range,
     require_fraction,
+    validate_selection_args,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "require_positive_int",
     "require_in_range",
     "require_fraction",
+    "validate_selection_args",
 ]

@@ -2,6 +2,51 @@
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
+
+def validate_selection_args(
+    k: int,
+    l: int,
+    targets: Sequence[str] = (),
+    columns: Optional[Sequence[str]] = None,
+) -> list[str]:
+    """Validate the ``(k, l, targets)`` arguments of a sub-table selection.
+
+    This is the single source of the selection-argument error messages;
+    every entry point (:class:`~repro.core.config.SubTabConfig`,
+    :meth:`SubTab.select`, :meth:`BaseSelector.select`,
+    :func:`~repro.core.selection.centroid_selection`, the Engine API)
+    delegates here so the messages stay identical across the surface.
+
+    Parameters
+    ----------
+    k, l:
+        Requested sub-table dimensions; must both be positive.
+    targets:
+        Target columns U*; at most ``l`` of them.
+    columns:
+        When given, the columns available for selection (the query result's
+        columns); every target must be among them.  ``None`` skips the
+        membership check for callers that validate it downstream.
+
+    Returns
+    -------
+    The targets as a plain list.
+    """
+    if k < 1 or l < 1:
+        raise ValueError(f"sub-table dimensions must be positive, got k={k}, l={l}")
+    targets = list(targets)
+    if columns is not None:
+        missing = [t for t in targets if t not in columns]
+        if missing:
+            raise ValueError(f"target columns {missing} are not in the query result")
+    if len(targets) > l:
+        raise ValueError(
+            f"cannot fit {len(targets)} target columns into l={l} columns"
+        )
+    return targets
+
 
 def require(condition: bool, message: str) -> None:
     """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""

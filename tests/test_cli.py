@@ -57,3 +57,90 @@ class TestExperimentCommand:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestAlgorithmsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("subtab", "ran", "nc", "greedy", "semigreedy", "mab", "embdi"):
+            assert name in out
+
+
+class TestShowAlgorithmFlag:
+    def test_show_with_baseline_algorithm(self, capsys):
+        code = main([
+            "show", "--dataset", "cyber", "--rows", "300",
+            "-k", "3", "-l", "3", "--algorithm", "nc", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pre-processing (nc)" in out
+        assert "[3 rows x 3 columns]" in out
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError, match="unknown selector kind"):
+            main([
+                "show", "--dataset", "cyber", "--rows", "300",
+                "--algorithm", "nope",
+            ])
+
+
+class TestFitServeRoundTrip:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "engine"
+        code = main([
+            "fit", "--dataset", "cyber", "--rows", "300",
+            "-k", "4", "-l", "4", "--seed", "1", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_fit_writes_artifact(self, artifact, capsys):
+        assert (artifact / "manifest.json").is_file()
+        assert (artifact / "arrays.npz").is_file()
+
+    def test_show_from_artifact(self, artifact, capsys):
+        code = main(["show", "--artifact", str(artifact), "-k", "4", "-l", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pre-processing skipped" in out
+        assert "[4 rows x 4 columns]" in out
+
+    @staticmethod
+    def _subtable_body(output: str) -> str:
+        """The rendered sub-table, without headers and timing lines."""
+        skip = ("Artifact:", "Table:", "Pre-processing", "[select:")
+        return "\n".join(
+            line for line in output.splitlines()
+            if line.strip() and not line.startswith(skip)
+        )
+
+    def test_show_from_artifact_matches_fresh_fit(self, artifact, capsys):
+        # Explicit targets on both sides: the dataset path would otherwise
+        # auto-fill the dataset's default targets, which the artifact
+        # (fitted from the raw table) knows nothing about.
+        main([
+            "show", "--artifact", str(artifact), "-k", "4", "-l", "4",
+            "--targets", "SERVICE",
+        ])
+        from_artifact = self._subtable_body(capsys.readouterr().out)
+        main([
+            "show", "--dataset", "cyber", "--rows", "300",
+            "-k", "4", "-l", "4", "--seed", "1", "--targets", "SERVICE",
+        ])
+        fresh = self._subtable_body(capsys.readouterr().out)
+        # Identical sub-table body: same rows, same columns, same values.
+        assert from_artifact and from_artifact == fresh
+
+    def test_serve_from_artifact(self, artifact, capsys):
+        code = main(["serve", "--artifact", str(artifact), "--sessions", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Served" in out
+        assert "cache:" in out
+
+    def test_serve_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])

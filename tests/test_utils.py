@@ -12,6 +12,7 @@ from repro.utils import (
     require_positive_int,
     spawn_rng,
     timed,
+    validate_selection_args,
 )
 
 
@@ -91,3 +92,38 @@ class TestValidation:
         assert require_fraction(1.0, "x") == 1.0
         with pytest.raises(ValueError):
             require_fraction(-0.1, "x")
+
+
+class TestValidateSelectionArgs:
+    """The one canonical validator behind every selection entry point."""
+
+    def test_returns_targets_as_list(self):
+        assert validate_selection_args(3, 3, ("A", "B")) == ["A", "B"]
+
+    def test_dimension_message(self):
+        with pytest.raises(
+            ValueError,
+            match=r"sub-table dimensions must be positive, got k=0, l=3",
+        ):
+            validate_selection_args(0, 3)
+        with pytest.raises(
+            ValueError,
+            match=r"sub-table dimensions must be positive, got k=3, l=-1",
+        ):
+            validate_selection_args(3, -1)
+
+    def test_missing_target_message(self):
+        with pytest.raises(
+            ValueError,
+            match=r"target columns \['C'\] are not in the query result",
+        ):
+            validate_selection_args(3, 3, ["A", "C"], columns=["A", "B"])
+
+    def test_too_many_targets_message(self):
+        with pytest.raises(
+            ValueError, match=r"cannot fit 2 target columns into l=1 columns"
+        ):
+            validate_selection_args(3, 1, ["A", "B"])
+
+    def test_no_columns_skips_membership_check(self):
+        assert validate_selection_args(3, 3, ["ANYTHING"]) == ["ANYTHING"]
