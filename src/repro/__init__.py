@@ -11,10 +11,13 @@ The package implements the SubTab framework end to end:
 * :mod:`repro.core` — the SubTab algorithm (Alg. 2) and display integration;
 * :mod:`repro.baselines` — RAN, NC, Greedy (Alg. 1), SemiGreedy, MAB, EmbDI;
 * :mod:`repro.queries` — SP query algebra and EDA-session simulation;
-* :mod:`repro.api` — the unified selector surface: ``Selector`` protocol,
-  string-keyed registry, typed requests/responses, and the ``Engine``
-  facade with persistable fitted artifacts;
-* :mod:`repro.serve` — session-serving shim over the Engine;
+* :mod:`repro.api` — the serving stack: ``Selector`` protocol, string-keyed
+  registry, typed requests/responses with a JSON wire format, the
+  ``Engine`` per-dataset kernel with persistable fitted artifacts, the
+  ``ArtifactStore`` of named versioned artifacts, and the ``Workspace``
+  multi-dataset front door;
+* :mod:`repro.serve` — multi-process serving: ``EnginePool`` warm-start
+  worker pools (plus the deprecated ``SubTabService`` shim);
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's six datasets;
 * :mod:`repro.study` — simulated user study (Table 1, Fig. 5);
 * :mod:`repro.hardness` — executable reductions behind Propositions 4.1/4.2.
@@ -30,10 +33,12 @@ Quickstart::
 """
 
 from repro.api import (
+    ArtifactStore,
     Engine,
     SelectionRequest,
     SelectionResponse,
     Selector,
+    Workspace,
     make_selector,
     register_selector,
     selector_names,
@@ -48,15 +53,17 @@ from repro.core import (
 from repro.frame import Column, DataFrame, read_csv, to_csv
 from repro.metrics import Scores, SubTableScorer
 from repro.rules import AssociationRule, RuleMiner
-from repro.serve import SubTabService
+from repro.serve import EnginePool, SubTabService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ArtifactStore",
     "AssociationRule",
     "Column",
     "DataFrame",
     "Engine",
+    "EnginePool",
     "ExplorationSession",
     "RuleMiner",
     "Scores",
@@ -68,6 +75,7 @@ __all__ = [
     "SubTabService",
     "SubTable",
     "SubTableScorer",
+    "Workspace",
     "__version__",
     "explore",
     "make_selector",

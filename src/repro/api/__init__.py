@@ -1,23 +1,38 @@
-"""The unified selector API: protocol → registry → engine.
+"""The serving stack: protocol → registry → engine → store → workspace.
 
 Public surface::
 
     from repro.api import (
-        Engine, SelectionRequest, SelectionResponse, Selector,
+        Workspace, ArtifactStore, Engine,               # serving front door
+        SelectionRequest, SelectionResponse, Selector,
         make_selector, register_selector, selector_names,
-        ArtifactError, load_artifact, save_artifact,
+        ArtifactError, StoreError, UnknownEntryError, StaleFingerprintError,
+        WorkspaceError, WireFormatError,
+        load_artifact, save_artifact,
         LRUCache, CacheStats, query_fingerprint,
     )
+
+Layered bottom-up:
 
 * :class:`Selector` — the structural protocol every algorithm satisfies
   (``fit``/``prepare`` once, ``select`` per display);
 * :func:`make_selector` / :func:`register_selector` — the string-keyed
   registry covering SubTab and all baselines, open to new backends;
 * :class:`SelectionRequest` / :class:`SelectionResponse` — typed
-  request/response objects with centralized validation;
-* :class:`Engine` — the serving facade: LRU-cached selection over any
-  registered selector, plus ``save``/``load`` of the fitted state so
-  restarts skip preprocessing.
+  request/response objects with centralized validation, ``dataset``/
+  ``algorithm`` routing keys, and a lossless JSON wire format
+  (``to_json``/``from_json``) for crossing process boundaries;
+* :class:`Engine` — the per-dataset serving kernel: LRU-cached selection
+  over any registered selector, plus ``save``/``load`` of the fitted state
+  so restarts skip preprocessing;
+* :class:`ArtifactStore` — a directory of named, versioned, fingerprint-
+  checked artifacts (one per dataset × refresh);
+* :class:`Workspace` — the multi-dataset front door: routes requests (and
+  batches, via ``select_many``) to lazily loaded engines behind a
+  capacity-bounded eviction policy.
+
+For multi-process serving of one artifact, see
+:class:`repro.serve.EnginePool`.
 """
 
 from repro.api.artifacts import (
@@ -41,15 +56,26 @@ from repro.api.registry import (
     make_selector,
     register_selector,
     resolve_name,
+    selector_aliases,
     selector_names,
     selector_spec,
 )
 from repro.api.request import SelectionRequest, SelectionResponse
+from repro.api.store import (
+    ArtifactStore,
+    StaleFingerprintError,
+    StoreError,
+    StoreRecord,
+    UnknownEntryError,
+)
+from repro.api.wire import WIRE_VERSION, WireFormatError
+from repro.api.workspace import Workspace, WorkspaceError, WorkspaceStats
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "ArtifactError",
+    "ArtifactStore",
     "CacheStats",
     "Engine",
     "FULL_TABLE_FINGERPRINT",
@@ -59,12 +85,22 @@ __all__ = [
     "SelectionResponse",
     "Selector",
     "SelectorSpec",
+    "StaleFingerprintError",
+    "StoreError",
+    "StoreRecord",
+    "UnknownEntryError",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "Workspace",
+    "WorkspaceError",
+    "WorkspaceStats",
     "load_artifact",
     "make_selector",
     "query_fingerprint",
     "register_selector",
     "resolve_name",
     "save_artifact",
+    "selector_aliases",
     "selector_names",
     "selector_spec",
 ]

@@ -8,6 +8,7 @@ Engine (which every selector now runs behind) owns the memoization.  The
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
@@ -63,9 +64,14 @@ class CacheStats:
 class LRUCache:
     """A small least-recently-used map with hit/miss counters.
 
-    Plain ``OrderedDict`` bookkeeping — no threads, no TTL — because the
-    serving loop is synchronous; the interesting property is the eviction
-    order and the stats the benchmarks read.
+    Plain ``OrderedDict`` bookkeeping — no TTL — guarded by one re-entrant
+    lock so the concurrent serving layers (:class:`~repro.api.Workspace`
+    engine routing, threaded request handlers over one Engine) can share an
+    instance.  Single-threaded semantics are unchanged: the same eviction
+    order, the same hit/miss counters, and ``stats`` stays internally
+    consistent (``hits + misses`` equals the number of ``get`` calls, and
+    ``size`` never exceeds ``maxsize``) no matter how many threads hammer
+    the cache.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -75,39 +81,59 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable) -> Optional[Any]:
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+    def put(self, key: Hashable, value: Any) -> list:
+        """Insert ``key`` and return the ``(key, value)`` pairs evicted."""
+        evicted = []
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                evicted.append(self._entries.popitem(last=False))
+        return evicted
+
+    def pop(self, key: Hashable, default: Optional[Any] = None) -> Optional[Any]:
+        """Remove ``key`` and return its value (``default`` when absent)."""
+        with self._lock:
+            return self._entries.pop(key, default)
+
+    def keys(self) -> list:
+        """Current keys, least recently used first (a snapshot)."""
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._entries),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )

@@ -74,6 +74,11 @@ class Engine:
         its fitted state).
     cache_size:
         Capacity of the selection LRU.
+    dataset:
+        Optional label of the dataset this engine serves (the
+        :class:`~repro.api.Workspace` sets it to the store name).  When set,
+        requests naming a *different* dataset are rejected instead of
+        silently served from the wrong table.
     """
 
     def __init__(
@@ -83,7 +88,9 @@ class Engine:
         selector_options: Optional[dict] = None,
         selector: Optional[BaseSelector] = None,
         cache_size: int = 256,
+        dataset: Optional[str] = None,
     ):
+        self.dataset = dataset
         self.config = config or SubTabConfig()
         self._selector_options = dict(selector_options or {})
         if selector is not None:
@@ -147,6 +154,35 @@ class Engine:
         if not self.is_fitted:
             raise RuntimeError("call fit(frame) before serving selections")
 
+    def _check_routing(self, request: SelectionRequest) -> None:
+        """Reject requests routed to the wrong engine.
+
+        The routing fields are advisory on a bare engine — a request with
+        ``dataset=None``/``algorithm=None`` is served unconditionally — but
+        when a request names a dataset or algorithm that disagrees with
+        this engine's, serving it would silently answer from the wrong
+        table or method.
+        """
+        if request.algorithm is not None:
+            requested = request.algorithm
+            try:
+                requested = resolve_name(requested)
+            except ValueError:
+                pass  # unregistered label (pre-built selector): compare raw
+            if requested != self.algorithm:
+                raise ValueError(
+                    f"request asks for algorithm {request.algorithm!r} but "
+                    f"this engine serves {self.algorithm!r}; route it "
+                    "through a Workspace instead"
+                )
+        if (request.dataset is not None and self.dataset is not None
+                and request.dataset != self.dataset):
+            raise ValueError(
+                f"request asks for dataset {request.dataset!r} but this "
+                f"engine serves {self.dataset!r}; route it through a "
+                "Workspace instead"
+            )
+
     # -- cache -------------------------------------------------------------------
     @property
     def cache_stats(self) -> CacheStats:
@@ -175,6 +211,7 @@ class Engine:
         elif kwargs:
             raise TypeError("pass either a SelectionRequest or keyword fields, not both")
         self._require_fitted()
+        self._check_routing(request)
         k, l = request.resolve(self.config.k, self.config.l)
         targets = validate_selection_args(k, l, request.targets)
         modes = request.mode_overrides()
@@ -258,6 +295,7 @@ class Engine:
         selector_options: Optional[dict] = None,
         cache_size: int = 256,
         algorithm: Optional[str] = None,
+        dataset: Optional[str] = None,
     ) -> "Engine":
         """Rebuild a fitted engine from :meth:`save`'s artifact.
 
@@ -279,6 +317,7 @@ class Engine:
             config=artifact.config,
             selector_options=selector_options,
             cache_size=cache_size,
+            dataset=dataset,
         )
         engine.timings_["artifact_load"] = time.perf_counter() - start
         selector = engine._selector

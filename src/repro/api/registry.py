@@ -90,6 +90,12 @@ def selector_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def selector_aliases(name: str) -> list[str]:
+    """Sorted aliases registered for canonical selector ``name``."""
+    key = resolve_name(name)
+    return sorted(alias for alias, target in _ALIASES.items() if target == key)
+
+
 def make_selector(
     name: str,
     config: Optional[SubTabConfig] = None,

@@ -1,0 +1,329 @@
+"""ArtifactStore: a directory of named, versioned engine artifacts.
+
+One fitted :class:`~repro.api.Engine` persists as one artifact directory
+(:mod:`repro.api.artifacts`); a serving deployment manages *many* — one or
+more per dataset, re-fitted as data refreshes.  The store gives that
+collection a filesystem layout and a checked catalog::
+
+    <root>/
+        <name>/
+            store.json      # catalog: latest version + per-version records
+            v1/             # one engine artifact (manifest.json, arrays.npz)
+            v2/
+        <other-name>/
+            ...
+
+``save(name, engine)`` appends a new version (existing versions are never
+overwritten — readers holding an open engine stay valid); ``open(name)``
+loads the latest (or a pinned) version back into a serving-ready Engine.
+Every open is double-checked: the artifact's own fingerprints are verified
+by :func:`~repro.api.artifacts.load_artifact`, and the manifest is checked
+against the catalog record written at save time, so a manifest swapped or
+regenerated behind the store's back raises :class:`StaleFingerprintError`
+instead of silently serving different data.
+
+All catalog operations are thread-safe; concurrent ``open`` of the same
+name is supported and returns independent engines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.api.artifacts import ArtifactError, MANIFEST_FILE
+from repro.api.engine import Engine
+
+STORE_FILE = "store.json"
+STORE_FORMAT = "repro-artifact-store"
+STORE_VERSION = 1
+
+#: Artifact names become directory names; keep them portable and traversal-safe.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class StoreError(RuntimeError):
+    """The store catalog is missing, malformed, or inconsistent."""
+
+
+class UnknownEntryError(StoreError, KeyError):
+    """The requested artifact name (or version) is not in the store."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return RuntimeError.__str__(self)
+
+
+class StaleFingerprintError(StoreError):
+    """An artifact on disk no longer matches the catalog record saved for it."""
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """Catalog entry of one saved artifact version."""
+
+    name: str
+    version: int
+    algorithm: str
+    n_rows: int
+    n_cols: int
+    has_embedding: bool
+    vocab_fingerprint: str
+    data_fingerprint: str
+    created: float
+    path: Path
+
+
+class ArtifactStore:
+    """Named, versioned engine artifacts under one root directory.
+
+    >>> store = ArtifactStore("/tmp/subtab-store")      # doctest: +SKIP
+    >>> store.save("flights", engine)                   # doctest: +SKIP
+    >>> store.open("flights").select(k=5, l=5)          # doctest: +SKIP
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # -- catalog ------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+            raise StoreError(
+                f"invalid artifact name {name!r}: names are directory names "
+                "(letters, digits, '.', '_', '-'; not starting with '.')"
+            )
+        return name
+
+    def _meta_path(self, name: str) -> Path:
+        return self.root / name / STORE_FILE
+
+    def _read_meta(self, name: str) -> Optional[dict]:
+        path = self._meta_path(name)
+        if not path.is_file():
+            return None
+        try:
+            meta = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"store catalog {path} is not valid JSON: {error}"
+            ) from None
+        if meta.get("format") != STORE_FORMAT:
+            raise StoreError(
+                f"{path} is not an artifact-store catalog "
+                f"(format {meta.get('format')!r})"
+            )
+        if meta.get("store_version") != STORE_VERSION:
+            raise StoreError(
+                f"store catalog version {meta.get('store_version')!r} is not "
+                f"supported by this build (expected {STORE_VERSION})"
+            )
+        return meta
+
+    def _require_meta(self, name: str) -> dict:
+        self._check_name(name)
+        meta = self._read_meta(name)
+        if meta is None:
+            known = ", ".join(self.names()) or "<empty store>"
+            raise UnknownEntryError(
+                f"unknown artifact {name!r}; store at {self.root} has: {known}"
+            )
+        return meta
+
+    def _write_meta(self, name: str, meta: dict) -> None:
+        path = self._meta_path(name)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True))
+        os.replace(tmp, path)  # atomic: readers never see a half-written catalog
+
+    @staticmethod
+    def _record_from(name: str, version: int, entry: dict, path: Path) -> StoreRecord:
+        return StoreRecord(
+            name=name,
+            version=version,
+            algorithm=entry["algorithm"],
+            n_rows=entry["n_rows"],
+            n_cols=entry["n_cols"],
+            has_embedding=entry["has_embedding"],
+            vocab_fingerprint=entry["vocab_fingerprint"],
+            data_fingerprint=entry["data_fingerprint"],
+            created=entry["created"],
+            path=path,
+        )
+
+    def _resolve_version(self, name: str, meta: dict,
+                         version: Optional[int]) -> tuple[int, dict]:
+        versions = meta.get("versions", {})
+        if version is None:
+            version = meta.get("latest")
+        entry = versions.get(str(version))
+        if entry is None:
+            known = ", ".join(sorted(versions, key=int)) or "<none>"
+            raise UnknownEntryError(
+                f"artifact {name!r} has no version {version!r}; "
+                f"saved versions: {known}"
+            )
+        return int(version), entry
+
+    # -- public API ---------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted names of all stored artifacts."""
+        with self._lock:
+            return sorted(
+                entry.name for entry in self.root.iterdir()
+                if entry.is_dir() and (entry / STORE_FILE).is_file()
+            )
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self._check_name(name)
+        except StoreError:
+            return False
+        return self._meta_path(name).is_file()
+
+    def versions(self, name: str) -> list[int]:
+        """Saved versions of ``name``, oldest first."""
+        with self._lock:
+            meta = self._require_meta(name)
+            return sorted(int(v) for v in meta.get("versions", {}))
+
+    def latest_version(self, name: str) -> int:
+        with self._lock:
+            meta = self._require_meta(name)
+            version, _ = self._resolve_version(name, meta, None)
+            return version
+
+    def path(self, name: str, version: Optional[int] = None) -> Path:
+        """Directory of one artifact version (latest when unspecified)."""
+        with self._lock:
+            meta = self._require_meta(name)
+            version, _ = self._resolve_version(name, meta, version)
+            return self.root / name / f"v{version}"
+
+    def describe(self, name: str, version: Optional[int] = None) -> StoreRecord:
+        """The catalog record of one artifact version (latest by default)."""
+        with self._lock:
+            meta = self._require_meta(name)
+            version, entry = self._resolve_version(name, meta, version)
+            return self._record_from(name, version, entry,
+                                     self.root / name / f"v{version}")
+
+    def records(self) -> list[StoreRecord]:
+        """Latest-version records of every stored artifact, sorted by name."""
+        return [self.describe(name) for name in self.names()]
+
+    def save(self, name: str, engine: Engine) -> StoreRecord:
+        """Persist ``engine`` as the next version of ``name``.
+
+        The engine must be fitted (:meth:`Engine.save`'s contract); the new
+        version becomes the store's latest.  Returns the catalog record.
+        """
+        self._check_name(name)
+        with self._lock:
+            meta = self._read_meta(name) or {
+                "format": STORE_FORMAT,
+                "store_version": STORE_VERSION,
+                "name": name,
+                "latest": 0,
+                "versions": {},
+            }
+            version = int(meta["latest"]) + 1
+            target = self.root / name / f"v{version}"
+            engine.save(target)
+            manifest = json.loads((target / MANIFEST_FILE).read_text())
+            entry = {
+                "algorithm": manifest["algorithm"],
+                "n_rows": manifest["n_rows"],
+                "n_cols": manifest["n_cols"],
+                "has_embedding": manifest["has_embedding"],
+                "vocab_fingerprint": manifest["vocab_fingerprint"],
+                "data_fingerprint": manifest["data_fingerprint"],
+                "created": time.time(),
+            }
+            meta["versions"][str(version)] = entry
+            meta["latest"] = version
+            self._write_meta(name, meta)
+            return self._record_from(name, version, entry, target)
+
+    def open(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        cache_size: int = 256,
+        selector_options: Optional[dict] = None,
+    ) -> Engine:
+        """Load one artifact version into a serving-ready :class:`Engine`.
+
+        The engine's ``dataset`` label is set to ``name`` so mis-routed
+        requests fail loudly.  ``algorithm`` overrides the persisted
+        algorithm (the preprocessed state is algorithm-independent).
+
+        Raises :class:`UnknownEntryError` for names/versions not in the
+        catalog, :class:`StaleFingerprintError` when the on-disk manifest
+        disagrees with the record written at save time, and
+        :class:`~repro.api.ArtifactError` when the artifact itself is
+        corrupted or of an incompatible version.
+        """
+        with self._lock:
+            meta = self._require_meta(name)
+            version, entry = self._resolve_version(name, meta, version)
+            target = self.root / name / f"v{version}"
+        # Load outside the lock: concurrent opens (same or different names)
+        # only serialize on the catalog read above.
+        manifest_path = target / MANIFEST_FILE
+        if not manifest_path.is_file():
+            raise ArtifactError(
+                f"{target} is not an engine artifact (missing files)"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise ArtifactError(
+                f"{manifest_path} is not valid JSON: {error}"
+            ) from None
+        for key in ("vocab_fingerprint", "data_fingerprint"):
+            if manifest.get(key) != entry[key]:
+                raise StaleFingerprintError(
+                    f"artifact {name!r} v{version}: manifest {key} does not "
+                    "match the store catalog; the artifact was modified "
+                    "behind the store's back — re-save it through the store"
+                )
+        return Engine.load(
+            target,
+            selector_options=selector_options,
+            cache_size=cache_size,
+            algorithm=algorithm,
+            dataset=name,
+        )
+
+    def delete(self, name: str, version: Optional[int] = None) -> None:
+        """Remove one version of ``name`` (or the whole artifact).
+
+        Deleting the latest version re-points ``latest`` at the newest
+        remaining one; deleting the last version removes the name.
+        """
+        with self._lock:
+            meta = self._require_meta(name)
+            if version is None:
+                shutil.rmtree(self.root / name)
+                return
+            version, _ = self._resolve_version(name, meta, version)
+            shutil.rmtree(self.root / name / f"v{version}", ignore_errors=True)
+            del meta["versions"][str(version)]
+            if not meta["versions"]:
+                shutil.rmtree(self.root / name)
+                return
+            meta["latest"] = max(int(v) for v in meta["versions"])
+            self._write_meta(name, meta)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r}, names={self.names()})"

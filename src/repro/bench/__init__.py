@@ -23,6 +23,7 @@ from repro.bench.harness import (
 )
 from repro.bench.experiments import (
     ParameterTuningResult,
+    PoolQPSResult,
     QualityResult,
     RuntimeResult,
     ServeSessionResult,
@@ -30,6 +31,7 @@ from repro.bench.experiments import (
     SlowBaselineResult,
     UserStudyExperimentResult,
     run_parameter_tuning_experiment,
+    run_pool_qps_experiment,
     run_quality_experiment,
     run_runtime_experiment,
     run_serve_session_experiment,
@@ -43,6 +45,7 @@ __all__ = [
     "BENCH_ROWS",
     "DatasetBundle",
     "ParameterTuningResult",
+    "PoolQPSResult",
     "QualityResult",
     "RuntimeResult",
     "ServeSessionResult",
@@ -57,6 +60,7 @@ __all__ = [
     "make_selector",
     "prepare_selectors",
     "run_parameter_tuning_experiment",
+    "run_pool_qps_experiment",
     "run_quality_experiment",
     "run_runtime_experiment",
     "run_serve_session_experiment",

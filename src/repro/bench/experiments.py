@@ -670,3 +670,217 @@ def run_serve_session_experiment(
         "maxsize": stats.maxsize,
     }
     return result
+
+
+# ---------------------------------------------------------------------------
+# Pooled serving throughput — single warm engine vs. EnginePool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PoolQPSResult:
+    """Aggregate QPS of a warm-start :class:`~repro.serve.EnginePool` vs. one
+    warm single-process engine, on the same cyclic session workload.
+
+    Both sides warm-start from the same saved artifact (preprocessing cost
+    0) and run the same selection-LRU capacity *per process*.  The workload
+    cycles ``rounds`` times over ``n_states`` distinct session states with
+    ``n_states`` chosen larger than one process's LRU — the cyclic access
+    pattern is LRU's worst case, so the single process recomputes every
+    display, while hash-routed pooling shards the states across workers
+    (aggregate capacity ``workers x cache_size``) and serves repeats warm.
+    On a single core that cache sharding is the entire pooled win; on
+    multi-core hosts CPU parallelism compounds it.
+    """
+
+    dataset: str
+    algorithm: str
+    k: int
+    l: int
+    n_states: int
+    rounds: int
+    workers: int
+    cache_size: int
+    routing: str
+    fit_seconds: float
+    baseline: dict = field(default_factory=dict)
+    pool: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        base = self.baseline.get("qps", 0.0)
+        return self.pool.get("qps", 0.0) / base if base else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "pool_qps",
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "l": self.l,
+            "n_states": self.n_states,
+            "rounds": self.rounds,
+            "workers": self.workers,
+            "cache_size": self.cache_size,
+            "routing": self.routing,
+            "fit_seconds": self.fit_seconds,
+            "baseline": dict(self.baseline),
+            "pool": dict(self.pool),
+            "qps_speedup": self.speedup,
+        }
+
+    def render(self) -> str:
+        rows = [
+            ["single warm engine", self.baseline["served"],
+             self.baseline["seconds"], self.baseline["qps"]],
+            [f"EnginePool x{self.workers}", self.pool["served"],
+             self.pool["seconds"], self.pool["qps"]],
+        ]
+        table = format_table(
+            f"Pooled serving QPS ({self.algorithm} on {self.dataset}, "
+            f"{self.n_states} states x {self.rounds} rounds, "
+            f"cache={self.cache_size}/process, routing={self.routing})",
+            ["serving path", "# selects", "total s", "QPS"],
+            rows,
+        )
+        return (
+            f"{table}\n"
+            f"aggregate QPS speedup: {self.speedup:.1f}x   "
+            f"baseline cache: {self.baseline['hits']}h/"
+            f"{self.baseline['misses']}m   "
+            f"pool cache: {self.pool['hits']}h/{self.pool['misses']}m   "
+            f"pool startup: {self.pool['startup_seconds']:.2f}s"
+        )
+
+
+def run_pool_qps_experiment(
+    dataset_name: str = "cyber",
+    n_sessions: int = 12,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = None,
+    workers: int = 4,
+    rounds: int = 6,
+    max_states: int = 48,
+    shard_slack: float = 2.0,
+    routing: str = "hash",
+    artifact_dir: Optional[str] = None,
+    algorithm: str = "subtab",
+) -> PoolQPSResult:
+    """Measure single-process warm-LRU QPS vs. pooled aggregate QPS.
+
+    Fits one engine, saves the artifact, and serves the same workload two
+    ways: a single ``Engine.load``-ed process, and an
+    :class:`~repro.serve.EnginePool` of ``workers`` processes warm-started
+    from that artifact.  Per-process LRU capacity is
+    ``ceil(shard_slack * n_states / workers)`` on both sides — the slack
+    over the mean shard size absorbs content-hash imbalance so each
+    hash-routed worker's shard fits its LRU, while one process still cannot
+    hold the whole working set.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import Engine
+
+    bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+    config = SubTabConfig(k=k, l=l, seed=seed)
+    engine = Engine(algorithm, config=config)
+    fit_start = time.perf_counter()
+    engine.fit(bundle.frame, binned=bundle.binned)
+    fit_seconds = time.perf_counter() - fit_start
+    artifact = artifact_dir or tempfile.mkdtemp(prefix="repro-pool-qps-")
+    try:
+        return _pool_qps_workload(
+            engine, artifact, bundle, fit_seconds,
+            n_sessions=n_sessions, dataset_name=dataset_name, k=k, l=l,
+            seed=seed, workers=workers, rounds=rounds, max_states=max_states,
+            shard_slack=shard_slack, routing=routing,
+        )
+    finally:
+        if artifact_dir is None:  # only clean up the directory we created
+            shutil.rmtree(artifact, ignore_errors=True)
+
+
+def _pool_qps_workload(
+    engine, artifact, bundle, fit_seconds, *, n_sessions, dataset_name,
+    k, l, seed, workers, rounds, max_states, shard_slack, routing,
+) -> PoolQPSResult:
+    """Serve the session workload through both paths (see the caller)."""
+    import math
+
+    from repro.api import Engine, SelectionRequest, query_fingerprint
+    from repro.serve import EnginePool
+
+    engine.save(artifact)
+    sessions = SessionGenerator(
+        bundle.binned,
+        pattern_columns=bundle.dataset.pattern_columns,
+        seed=seed,
+    ).generate(n_sessions, name=dataset_name)
+
+    # Distinct, servable session states (degenerate states would fail on
+    # both sides; exclude them up front so the workloads are identical).
+    seen: set = set()
+    states = []
+    for session in sessions:
+        for step in session:
+            fingerprint = query_fingerprint(step.state)
+            if fingerprint in seen or len(states) >= max_states:
+                continue
+            seen.add(fingerprint)
+            try:
+                engine.select(SelectionRequest(k=k, l=l, query=step.state,
+                                               use_cache=False))
+            except ValueError:
+                continue
+            states.append(step.state)
+
+    n_states = len(states)
+    cache_size = max(1, math.ceil(shard_slack * n_states / workers))
+    requests = [SelectionRequest(k=k, l=l, query=state) for state in states]
+    workload = requests * rounds  # cyclic: LRU-adversarial for one process
+
+    result = PoolQPSResult(
+        dataset=bundle.name,
+        algorithm=engine.algorithm,
+        k=k,
+        l=l,
+        n_states=n_states,
+        rounds=rounds,
+        workers=workers,
+        cache_size=cache_size,
+        routing=routing,
+        fit_seconds=fit_seconds,
+    )
+
+    # Baseline: one warm-started process, same per-process LRU capacity.
+    single = Engine.load(artifact, cache_size=cache_size)
+    start = time.perf_counter()
+    for request in workload:
+        single.select(request)
+    seconds = time.perf_counter() - start
+    stats = single.cache_stats
+    result.baseline = {
+        "served": len(workload),
+        "seconds": seconds,
+        "qps": len(workload) / seconds if seconds else 0.0,
+        "hits": stats.hits,
+        "misses": stats.misses,
+    }
+
+    # Pool: N workers warm-started from the same artifact.
+    with EnginePool(artifact, workers=workers, cache_size=cache_size,
+                    routing=routing) as pool:
+        pool.select_many(workload)
+        pool_stats = pool.stats
+    result.pool = {
+        "served": pool_stats.served,
+        "seconds": pool_stats.wall_seconds,
+        "qps": pool_stats.qps,
+        "hits": pool_stats.cache_hits,
+        "misses": pool_stats.cache_misses,
+        "startup_seconds": pool_stats.startup_seconds,
+        "per_worker": {str(w): c for w, c in sorted(pool_stats.per_worker.items())},
+    }
+    return result

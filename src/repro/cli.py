@@ -7,7 +7,9 @@ Commands:
   selection algorithm;
 * ``fit`` — preprocess a table once and save the fitted engine artifact;
 * ``serve`` — load a saved artifact and serve generated exploration
-  sessions from it, printing the latency/cache split;
+  sessions from it, printing the latency/cache split; with ``--workers N``
+  the sessions are served by an :class:`~repro.serve.EnginePool` of N
+  warm-start processes and the aggregate QPS is reported;
 * ``experiment`` — run one of the paper's experiments and print its
   table/figure;
 * ``datasets`` — list the available synthetic datasets;
@@ -20,6 +22,7 @@ Examples::
     python -m repro fit --dataset cyber --rows 2000 --out /tmp/cyber-engine
     python -m repro show --artifact /tmp/cyber-engine
     python -m repro serve --artifact /tmp/cyber-engine --sessions 5
+    python -m repro serve --artifact /tmp/cyber-engine --workers 4 --routing hash
     python -m repro experiment fig8 --rows 1500
 """
 
@@ -28,7 +31,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import Engine, SelectionRequest, selector_names, selector_spec
+from repro.api import (
+    Engine,
+    SelectionRequest,
+    selector_aliases,
+    selector_names,
+    selector_spec,
+)
 from repro.bench import (
     run_parameter_tuning_experiment,
     run_quality_experiment,
@@ -103,6 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("-k", type=int, default=None, help="sub-table rows")
     serve.add_argument("-l", type=int, default=None, help="sub-table columns")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="selection-LRU capacity (per process)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serve through an EnginePool of N warm-start "
+                            "processes (1: serve in-process)")
+    serve.add_argument("--routing", choices=["shared", "hash"],
+                       default="shared",
+                       help="pool request routing: one shared queue, or "
+                            "per-worker queues keyed by request hash "
+                            "(shards the selection LRUs)")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS.keys()))
@@ -168,25 +187,30 @@ def _cmd_fit(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.queries.generator import SessionGenerator
 
-    engine = Engine.load(args.artifact)
+    engine = Engine.load(args.artifact, cache_size=args.cache_size)
     print(f"Artifact: {args.artifact} (algorithm={engine.algorithm}, "
           f"loaded in {engine.timings_['artifact_load']:.2f}s, "
           f"pre-processing skipped)")
     sessions = SessionGenerator(engine.binned, seed=args.seed).generate(
         args.sessions
     )
+    requests = [
+        SelectionRequest(k=args.k, l=args.l, query=step.state)
+        for session in sessions
+        for step in session
+    ]
+    if args.workers > 1:
+        return _serve_pooled(args, requests)
     served = failures = 0
     total_seconds = 0.0
-    for session in sessions:
-        for step in session:
-            request = SelectionRequest(k=args.k, l=args.l, query=step.state)
-            try:
-                response = engine.select(request)
-            except ValueError:
-                failures += 1
-                continue
-            served += 1
-            total_seconds += response.select_seconds
+    for request in requests:
+        try:
+            response = engine.select(request)
+        except ValueError:
+            failures += 1
+            continue
+        served += 1
+        total_seconds += response.select_seconds
     stats = engine.cache_stats
     mean_ms = 1000.0 * total_seconds / served if served else 0.0
     print(f"Served {served} displays over {args.sessions} sessions "
@@ -194,6 +218,33 @@ def _cmd_serve(args) -> int:
     print(f"mean select latency: {mean_ms:.2f} ms   "
           f"cache: hits={stats.hits} misses={stats.misses} "
           f"hit_rate={stats.hit_rate:.0%}")
+    return 0
+
+
+def _serve_pooled(args, requests) -> int:
+    from repro.api import SelectionResponse
+    from repro.serve import EnginePool
+
+    with EnginePool(
+        args.artifact,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        routing=args.routing,
+    ) as pool:
+        print(f"Pool: {args.workers} workers warm-started in "
+              f"{pool.stats.startup_seconds:.2f}s (routing={args.routing})")
+        results = pool.select_many(requests, raise_on_error=False)
+        stats = pool.stats
+    served = sum(1 for r in results if isinstance(r, SelectionResponse))
+    failures = len(results) - served
+    print(f"Served {served} displays over {args.sessions} sessions "
+          f"({failures} degenerate states skipped)")
+    per_worker = " ".join(
+        f"w{worker}={count}" for worker, count in sorted(stats.per_worker.items())
+    )
+    print(f"aggregate QPS: {stats.qps:.1f}   "
+          f"cache: hits={stats.cache_hits} misses={stats.cache_misses}   "
+          f"per-worker: {per_worker}")
     return 0
 
 
@@ -217,10 +268,12 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_algorithms() -> int:
-    for name in selector_names():
+    for name in selector_names():  # sorted: the listing is deterministic
         spec = selector_spec(name)
         speed = "interactive" if spec.interactive else "slow"
-        print(f"{name:12s} [{speed:11s}] {spec.description}")
+        aliases = selector_aliases(name)
+        suffix = f"  (aliases: {', '.join(aliases)})" if aliases else ""
+        print(f"{name:12s} [{speed:11s}] {spec.description}{suffix}")
     return 0
 
 

@@ -1,22 +1,38 @@
-"""Session-serving layer for SubTab (compatibility shim over repro.api).
+"""Multi-process serving layer (and the legacy SubTabService shim).
 
 Public surface::
 
-    from repro.serve import SubTabService, LRUCache, query_fingerprint
+    from repro.serve import EnginePool, PoolStats, SubTabService
 
-:class:`SubTabService` is now a thin wrapper over :class:`repro.api.Engine`
-fixed to the ``subtab`` algorithm; the cache primitives re-exported here
-live in :mod:`repro.api.cache`.  New code should prefer the Engine — it
-serves any registered selector, takes typed requests, and persists its
-fitted state.
+:class:`EnginePool` serves one saved engine artifact from N warm-start
+worker processes (each ``Engine.load``-s the artifact and skips all heavy
+preprocessing), draining requests from a shared queue — or, with
+``routing="hash"``, from per-worker queues that shard the selection LRUs —
+with aggregate-QPS accounting.
+
+:class:`SubTabService` is the original single-table serving API, kept as a
+deprecated shim over :class:`repro.api.Engine`; new code should use
+:class:`repro.api.Engine` (one dataset) or :class:`repro.api.Workspace`
+(many datasets).  The cache primitives re-exported here live in
+:mod:`repro.api.cache`.
 """
 
 from repro.api.cache import CacheStats, LRUCache, query_fingerprint
+from repro.serve.pool import (
+    EnginePool,
+    PoolError,
+    PoolRequestError,
+    PoolStats,
+)
 from repro.serve.service import SubTabService
 
 __all__ = [
     "CacheStats",
+    "EnginePool",
     "LRUCache",
+    "PoolError",
+    "PoolRequestError",
+    "PoolStats",
     "SubTabService",
     "query_fingerprint",
 ]

@@ -1,0 +1,321 @@
+"""EnginePool: N warm-start worker processes serving one artifact.
+
+The paper's phase split (Fig. 9) is what makes process pooling cheap: the
+expensive phases — normalize, bin, embed — were paid once at fit time and
+live in the saved artifact, so every worker boots by ``Engine.load``-ing it
+and skips them entirely.  The pool then serves requests across the workers
+and accounts aggregate throughput:
+
+* requests and responses cross the process boundary as the JSON wire format
+  (:meth:`SelectionRequest.to_json` / :meth:`SelectionResponse.from_json`),
+  so pooled responses are reconstructed losslessly and compare bit-for-bit
+  with the single-process path's sub-tables;
+* ``routing="shared"`` (default) has all workers drain one shared queue —
+  classic work stealing, best when requests are uniformly expensive;
+* ``routing="hash"`` pins each request to a worker by a stable content hash
+  of its wire form, sharding the selection LRUs: N workers hold N x
+  ``cache_size`` distinct selections, so a working set that thrashes one
+  process's LRU is served warm by the pool.  On a single core this cache
+  sharding — not CPU parallelism — is where pooled QPS comes from (see
+  ``benchmarks/bench_pool_qps.py``); on many cores both effects compound.
+
+Workers are daemonic and are torn down by :meth:`close` (or the context
+manager); request errors are returned per-request, not lost in a worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.api.engine import Engine
+from repro.api.request import SelectionRequest, SelectionResponse
+
+_READY = "ready"
+_OK = "ok"
+_ERROR = "error"
+
+ROUTING_MODES = ("shared", "hash")
+
+
+class PoolError(RuntimeError):
+    """The pool is unusable (failed start, closed, or a worker died)."""
+
+
+class PoolRequestError(RuntimeError):
+    """A request failed inside a worker; carries the worker-side error text."""
+
+    def __init__(self, index: int, worker: int, message: str):
+        super().__init__(
+            f"request #{index} failed in pool worker {worker}: {message}"
+        )
+        self.index = index
+        self.worker = worker
+        self.worker_message = message
+
+
+@dataclass
+class PoolStats:
+    """Aggregate-throughput accounting of one :class:`EnginePool`."""
+
+    workers: int
+    served: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    startup_seconds: float = 0.0
+    per_worker: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def qps(self) -> float:
+        """Aggregate requests per second over all serving calls so far."""
+        return self.served / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _pool_worker(
+    artifact: str,
+    algorithm: Optional[str],
+    cache_size: int,
+    selector_options: Optional[dict],
+    request_queue,
+    result_queue,
+    worker_id: int,
+) -> None:
+    """Worker loop: warm-start from the artifact, then drain the queue."""
+    try:
+        start = time.perf_counter()
+        engine = Engine.load(
+            artifact,
+            selector_options=selector_options,
+            cache_size=cache_size,
+            algorithm=algorithm,
+        )
+        result_queue.put((_READY, worker_id, time.perf_counter() - start))
+    except Exception as error:  # surfaced by start() as PoolError
+        result_queue.put((_ERROR, worker_id, -1,
+                          f"{type(error).__name__}: {error}"))
+        return
+    while True:
+        item = request_queue.get()
+        if item is None:
+            break
+        index, payload = item
+        try:
+            request = SelectionRequest.from_json(payload)
+            response = engine.select(request)
+            result_queue.put((_OK, worker_id, index, response.to_json()))
+        except Exception as error:
+            result_queue.put((_ERROR, worker_id, index,
+                              f"{type(error).__name__}: {error}"))
+
+
+def _route_hash(payload: str) -> int:
+    """Stable content hash of a wire-form request (never ``hash()``: that is
+    salted per process and would break affinity across runs)."""
+    return int.from_bytes(hashlib.sha1(payload.encode()).digest()[:8], "big")
+
+
+class EnginePool:
+    """A pool of worker processes all serving one saved engine artifact.
+
+    >>> with EnginePool("/tmp/flights-engine", workers=4) as pool:  # doctest: +SKIP
+    ...     responses = pool.select_many(requests)
+    ...     print(pool.stats.qps)
+
+    Parameters
+    ----------
+    artifact:
+        Path to the saved engine artifact every worker warm-starts from.
+    workers:
+        Number of worker processes.
+    cache_size:
+        Per-worker selection-LRU capacity (the pool's aggregate capacity is
+        ``workers * cache_size`` under hash routing).
+    algorithm:
+        Optional algorithm override forwarded to every ``Engine.load``.
+    routing:
+        ``"shared"`` (one queue, work stealing) or ``"hash"`` (per-worker
+        queues, requests pinned by content hash for LRU affinity).
+    start_method:
+        ``multiprocessing`` start method; ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        artifact: "str | Path",
+        workers: int = 2,
+        cache_size: int = 256,
+        algorithm: Optional[str] = None,
+        selector_options: Optional[dict] = None,
+        routing: str = "shared",
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if routing not in ROUTING_MODES:
+            raise ValueError(
+                f"unknown routing {routing!r}; expected one of {ROUTING_MODES}"
+            )
+        self.artifact = str(artifact)
+        self.workers = workers
+        self.cache_size = cache_size
+        self.algorithm = algorithm
+        self.routing = routing
+        self._selector_options = selector_options
+        self._context = (multiprocessing.get_context(start_method)
+                         if start_method else multiprocessing.get_context())
+        self._processes: list = []
+        self._request_queues: list = []
+        self._result_queue = None
+        self._stats: Optional[PoolStats] = None
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "EnginePool":
+        """Spawn the workers and block until every engine is warm."""
+        if self._started:
+            return self
+        if self._closed:
+            raise PoolError("pool is closed; construct a new one")
+        self._result_queue = self._context.Queue()
+        n_queues = self.workers if self.routing == "hash" else 1
+        self._request_queues = [self._context.Queue() for _ in range(n_queues)]
+        start = time.perf_counter()
+        for worker_id in range(self.workers):
+            queue = self._request_queues[worker_id % n_queues]
+            process = self._context.Process(
+                target=_pool_worker,
+                args=(self.artifact, self.algorithm, self.cache_size,
+                      self._selector_options, queue, self._result_queue,
+                      worker_id),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        stats = PoolStats(workers=self.workers,
+                          per_worker={i: 0 for i in range(self.workers)})
+        for _ in range(self.workers):
+            message = self._result_queue.get()
+            if message[0] != _READY:
+                self.close()
+                raise PoolError(
+                    f"pool worker {message[1]} failed to warm-start from "
+                    f"{self.artifact}: {message[3]}"
+                )
+        stats.startup_seconds = time.perf_counter() - start
+        self._stats = stats
+        self._started = True
+        return self
+
+    def __enter__(self) -> "EnginePool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._request_queues:
+            workers_on_queue = (1 if self.routing == "hash"
+                                else len(self._processes))
+            for _ in range(workers_on_queue):
+                try:
+                    queue.put(None)
+                except Exception:
+                    pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for queue in self._request_queues:
+            queue.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+
+    # -- serving ------------------------------------------------------------
+    def _require_running(self) -> None:
+        if not self._started or self._closed:
+            raise PoolError("pool is not running; call start() (or use "
+                            "`with EnginePool(...) as pool:`)")
+        dead = [p for p in self._processes if not p.is_alive()]
+        if dead:
+            raise PoolError(f"{len(dead)} pool worker(s) died; the pool "
+                            "must be recreated")
+
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        """Serve a batch across the workers; responses in request order.
+
+        Each entry of the returned list is a :class:`SelectionResponse`
+        (reconstructed from the worker's wire payload).  When a request
+        fails inside a worker, the first failure raises
+        :class:`PoolRequestError` (``raise_on_error=True``, after the batch
+        drains) or the entry is the :class:`PoolRequestError` itself
+        (``raise_on_error=False``).
+        """
+        self._require_running()
+        payloads = [request.to_json() for request in requests]
+        start = time.perf_counter()
+        for index, payload in enumerate(payloads):
+            if self.routing == "hash":
+                queue = self._request_queues[
+                    _route_hash(payload) % len(self._request_queues)
+                ]
+            else:
+                queue = self._request_queues[0]
+            queue.put((index, payload))
+        results: list = [None] * len(payloads)
+        first_error: Optional[PoolRequestError] = None
+        collected = 0
+        while collected < len(payloads):
+            try:
+                kind, worker_id, index, payload = self._result_queue.get(
+                    timeout=1.0
+                )
+            except queue_module.Empty:
+                self._require_running()  # a dead worker raises instead of hanging
+                continue
+            collected += 1
+            self._stats.per_worker[worker_id] += 1
+            if kind == _OK:
+                response = SelectionResponse.from_json(payload)
+                results[index] = response
+                self._stats.served += 1
+                if response.cache_hit:
+                    self._stats.cache_hits += 1
+                else:
+                    self._stats.cache_misses += 1
+            else:
+                error = PoolRequestError(index, worker_id, payload)
+                results[index] = error
+                self._stats.errors += 1
+                first_error = first_error or error
+        self._stats.wall_seconds += time.perf_counter() - start
+        if first_error is not None and raise_on_error:
+            raise first_error
+        return results
+
+    def select(self, request: SelectionRequest) -> SelectionResponse:
+        """Serve one request through the pool."""
+        return self.select_many([request])[0]
+
+    @property
+    def stats(self) -> PoolStats:
+        """Aggregate accounting so far (served, errors, wall time, QPS)."""
+        if self._stats is None:
+            return PoolStats(workers=self.workers)
+        return self._stats

@@ -19,6 +19,7 @@ requests/responses, per-request mode overrides, and artifact save/load.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
@@ -81,6 +82,13 @@ class SubTabService(Engine):
         subtab: Optional[SubTab] = None,
         cache_size: int = 256,
     ):
+        warnings.warn(
+            "SubTabService is deprecated; use repro.api.Engine (one dataset) "
+            "or repro.api.Workspace (many datasets) instead — same serving "
+            "semantics plus typed requests, artifacts, and routing",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if subtab is not None and config is not None:
             raise ValueError("pass either config or a subtab, not both")
         selector = SubTabSelector(subtab=subtab) if subtab is not None else None

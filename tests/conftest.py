@@ -58,3 +58,40 @@ def fast_subtab_config() -> SubTabConfig:
 @pytest.fixture(scope="session")
 def fitted_subtab(planted_frame, fast_subtab_config):
     return SubTab(fast_subtab_config).fit(planted_frame)
+
+
+@pytest.fixture(scope="session")
+def fitted_engine(fitted_subtab):
+    """A fitted subtab Engine reusing the session-scoped SubTab (no refit)."""
+    from repro.api import Engine
+    from repro.baselines.subtab_adapter import SubTabSelector
+
+    return Engine("subtab", selector=SubTabSelector(subtab=fitted_subtab))
+
+
+@pytest.fixture(scope="session")
+def alt_frame() -> DataFrame:
+    """A second, genuinely different dataset (other rows, other seed)."""
+    return build_planted_frame(n=400, seed=42)
+
+
+@pytest.fixture(scope="session")
+def fitted_nc_engine(alt_frame):
+    """A fitted nc Engine over the alternate frame (cheap: no embedding)."""
+    from repro.api import Engine
+    from repro.core import SubTabConfig
+
+    return Engine("nc", SubTabConfig(k=5, l=4, n_bins=4, seed=0)).fit(alt_frame)
+
+
+@pytest.fixture(scope="session")
+def seeded_store(tmp_path_factory, fitted_engine, fitted_nc_engine):
+    """An ArtifactStore holding two datasets: 'planted' (subtab artifact over
+    the planted frame) and 'planted-alt' (nc artifact over a different
+    frame, so routing mistakes are observable)."""
+    from repro.api import ArtifactStore
+
+    store = ArtifactStore(tmp_path_factory.mktemp("store-seeded"))
+    store.save("planted", fitted_engine)
+    store.save("planted-alt", fitted_nc_engine)
+    return store

@@ -66,6 +66,20 @@ class TestAlgorithmsCommand:
         for name in ("subtab", "ran", "nc", "greedy", "semigreedy", "mab", "embdi"):
             assert name in out
 
+    def test_lists_in_deterministic_sorted_order(self, capsys):
+        main(["algorithms"])
+        first = capsys.readouterr().out
+        listed = [line.split()[0] for line in first.splitlines() if line.strip()]
+        assert listed == sorted(listed)
+        main(["algorithms"])
+        assert capsys.readouterr().out == first  # byte-identical re-run
+
+    def test_lists_aliases(self, capsys):
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert "aliases: random" in out
+        assert "aliases: naive, naive_cluster" in out
+
 
 class TestShowAlgorithmFlag:
     def test_show_with_baseline_algorithm(self, capsys):
@@ -144,3 +158,48 @@ class TestFitServeRoundTrip:
     def test_serve_requires_artifact(self):
         with pytest.raises(SystemExit):
             main(["serve"])
+
+    @staticmethod
+    def _cache_counts(output: str) -> tuple[int, int]:
+        import re
+
+        match = re.search(r"hits=(\d+) misses=(\d+)", output)
+        assert match, output
+        return int(match.group(1)), int(match.group(2))
+
+    def test_serve_honors_cache_size(self, artifact, capsys):
+        code = main([
+            "serve", "--artifact", str(artifact), "--sessions", "4",
+            "--cache-size", "1",
+        ])
+        assert code == 0
+        small_hits, small_misses = self._cache_counts(capsys.readouterr().out)
+        main(["serve", "--artifact", str(artifact), "--sessions", "4"])
+        big_hits, big_misses = self._cache_counts(capsys.readouterr().out)
+        # a 1-entry LRU only catches consecutive repeats; the default-sized
+        # LRU also catches revisited states, so shrinking the cache must
+        # cost hits on the same session workload
+        assert small_hits + small_misses == big_hits + big_misses
+        assert small_hits < big_hits
+
+    def test_serve_pooled(self, artifact, capsys):
+        code = main([
+            "serve", "--artifact", str(artifact), "--sessions", "2",
+            "--workers", "2", "--routing", "hash",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pool: 2 workers warm-started" in out
+        assert "aggregate QPS:" in out
+        assert "per-worker:" in out
+
+    def test_serve_pooled_matches_in_process_counts(self, artifact, capsys):
+        main(["serve", "--artifact", str(artifact), "--sessions", "2"])
+        single = capsys.readouterr().out
+        main(["serve", "--artifact", str(artifact), "--sessions", "2",
+              "--workers", "2"])
+        pooled = capsys.readouterr().out
+        served = [line for line in single.splitlines() if "Served" in line]
+        assert served and served == [
+            line for line in pooled.splitlines() if "Served" in line
+        ]

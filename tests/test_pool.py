@@ -1,0 +1,116 @@
+"""Tests for the EnginePool (multi-process warm-start serving).
+
+The CI pool smoke lives here: fit one small artifact, serve sessions
+through an ``EnginePool`` with 2 workers, and assert the pooled responses
+match the single-engine path bit-for-bit.
+"""
+
+import pytest
+
+from repro.api import Engine, SelectionRequest, SelectionResponse
+from repro.queries.ops import SPQuery
+from repro.queries.predicates import Eq, InRange
+from repro.serve import EnginePool, PoolError, PoolRequestError
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, fitted_engine):
+    path = tmp_path_factory.mktemp("pool") / "planted-artifact"
+    fitted_engine.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return [
+        SelectionRequest(k=4, l=3),
+        SelectionRequest(k=3, l=3, targets=("OUTCOME",)),
+        SelectionRequest(k=3, l=2, query=SPQuery((Eq("KIND", "beta"),))),
+        SelectionRequest(
+            k=3, l=2,
+            query=SPQuery((InRange("SIZE", 0.0, 5000.0),),
+                          projection=("SIZE", "SPEED", "KIND")),
+        ),
+        SelectionRequest(k=4, l=3),  # repeat of the first
+    ]
+
+
+def _content(response: SelectionResponse) -> dict:
+    """The deterministic part of a response's wire form (timings and
+    cache-hit flags legitimately differ between serving paths)."""
+    payload = response.to_wire()
+    for volatile in ("timings", "select_seconds", "cache_hit"):
+        payload.pop(volatile)
+    return payload
+
+
+class TestEnginePoolSmoke:
+    @pytest.mark.parametrize("routing", ["shared", "hash"])
+    def test_pooled_responses_match_single_engine_bit_for_bit(
+        self, artifact, requests, routing
+    ):
+        single = Engine.load(artifact)
+        with EnginePool(artifact, workers=2, routing=routing) as pool:
+            pooled = pool.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in pooled)
+        for request, response in zip(requests, pooled):
+            assert _content(response) == _content(single.select(request))
+
+    def test_hash_routing_gives_cache_affinity(self, artifact, requests):
+        with EnginePool(artifact, workers=2, routing="hash") as pool:
+            pool.select_many(requests)
+            pool.select_many(requests)  # full replay: every request repeats
+            stats = pool.stats
+        assert stats.served == 2 * len(requests)
+        # first batch: 4 distinct misses + 1 repeat hit; replay: all hits
+        assert stats.cache_hits >= len(requests) + 1
+        assert sum(stats.per_worker.values()) == stats.served
+
+    def test_aggregate_qps_accounting(self, artifact, requests):
+        with EnginePool(artifact, workers=2) as pool:
+            pool.select_many(requests)
+            stats = pool.stats
+        assert stats.workers == 2
+        assert stats.served == len(requests)
+        assert stats.errors == 0
+        assert stats.wall_seconds > 0
+        assert stats.qps == pytest.approx(stats.served / stats.wall_seconds)
+        assert stats.startup_seconds > 0
+
+    def test_request_errors_surface_with_worker_context(self, artifact):
+        bad = SelectionRequest(k=3, l=3, targets=("NOPE",))
+        with EnginePool(artifact, workers=2) as pool:
+            with pytest.raises(PoolRequestError, match="NOPE"):
+                pool.select_many([SelectionRequest(k=3, l=3), bad])
+            results = pool.select_many(
+                [SelectionRequest(k=3, l=3), bad], raise_on_error=False
+            )
+        assert isinstance(results[0], SelectionResponse)
+        assert isinstance(results[1], PoolRequestError)
+        assert results[1].index == 1
+
+    def test_single_request_helper(self, artifact):
+        with EnginePool(artifact, workers=1) as pool:
+            response = pool.select(SelectionRequest(k=3, l=3))
+        assert response.shape == (3, 3)
+
+    def test_requires_start(self, artifact):
+        pool = EnginePool(artifact, workers=1)
+        with pytest.raises(PoolError, match="not running"):
+            pool.select_many([SelectionRequest(k=3, l=3)])
+
+    def test_closed_pool_rejects_serving(self, artifact):
+        pool = EnginePool(artifact, workers=1).start()
+        pool.close()
+        with pytest.raises(PoolError):
+            pool.select_many([SelectionRequest(k=3, l=3)])
+
+    def test_bad_artifact_fails_start(self, tmp_path):
+        with pytest.raises(PoolError, match="failed to warm-start"):
+            EnginePool(tmp_path / "not-an-artifact", workers=1).start()
+
+    def test_invalid_parameters(self, artifact):
+        with pytest.raises(ValueError, match="workers"):
+            EnginePool(artifact, workers=0)
+        with pytest.raises(ValueError, match="routing"):
+            EnginePool(artifact, routing="psychic")

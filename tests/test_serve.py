@@ -1,5 +1,7 @@
 """Tests for the session-serving layer (repro.serve)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -7,10 +9,28 @@ from repro.queries.ops import SPQuery
 from repro.queries.predicates import Eq, InRange
 from repro.serve import CacheStats, LRUCache, SubTabService, query_fingerprint
 
+# SubTabService is deprecated (see TestDeprecation); the shim's behaviour is
+# still covered here, without every construction shouting about it.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:SubTabService is deprecated:DeprecationWarning"
+)
+
 
 @pytest.fixture(scope="module")
 def service(fitted_subtab):
     return SubTabService(subtab=fitted_subtab, cache_size=8)
+
+
+class TestDeprecation:
+    def test_subtab_service_warns_and_points_at_the_new_surface(
+        self, fast_subtab_config
+    ):
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro\.api\.Engine.*repro\.api\.Workspace"):
+            service = SubTabService(config=fast_subtab_config)
+        # the shim keeps working after the warning
+        assert not service.is_fitted
+        assert service.name == "SubTabService"
 
 
 class TestQueryFingerprint:
@@ -81,6 +101,57 @@ class TestLRUCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             LRUCache(maxsize=0)
+
+    def test_put_reports_evicted_entries(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.put("a", 1) == []
+        cache.put("b", 2)
+        assert cache.put("c", 3) == [("a", 1)]
+
+    def test_pop_and_keys(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: b becomes least recently used
+        assert cache.keys() == ["b", "a"]
+        assert cache.pop("b") == 2
+        assert cache.pop("b", "gone") == "gone"
+        assert cache.keys() == ["a"]
+
+    def test_stats_consistent_under_thread_hammering(self):
+        """The concurrent serving path shares one cache across threads; the
+        counters must stay exact and the size bounded, with no lost updates
+        or torn OrderedDict state."""
+        cache = LRUCache(maxsize=16)
+        n_threads, ops_per_thread = 8, 2000
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hammer(thread_id):
+            try:
+                barrier.wait()
+                for i in range(ops_per_thread):
+                    key = (thread_id * i) % 48  # overlapping key space
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        stats = cache.stats
+        assert stats.hits + stats.misses == n_threads * ops_per_thread
+        assert stats.size <= stats.maxsize
+        assert len(cache) == stats.size
+        # every surviving entry is intact (no torn values)
+        for key in cache.keys():
+            assert cache.get(key) == key
 
 
 class TestSubTabService:

@@ -1,0 +1,203 @@
+"""Tests for the ArtifactStore (named, versioned, fingerprint-checked).
+
+Covers the catalog lifecycle (save/open/list/describe/delete, version
+history), the serving contract (opened engines are bit-identical to the
+engines that were saved), and the failure modes the serving stack must
+surface as clear typed errors: corrupted manifests, unsupported versions,
+stale fingerprints, and unknown names — plus concurrent ``open`` of the
+same name, which must hand out independent, consistent engines.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ArtifactStore,
+    Engine,
+    SelectionRequest,
+    StaleFingerprintError,
+    StoreError,
+    StoreRecord,
+    UnknownEntryError,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def saved(store, fitted_engine):
+    store.save("planted", fitted_engine)
+    return store
+
+
+class TestCatalog:
+    def test_save_returns_record(self, store, fitted_engine):
+        record = store.save("planted", fitted_engine)
+        assert isinstance(record, StoreRecord)
+        assert record.name == "planted"
+        assert record.version == 1
+        assert record.algorithm == "subtab"
+        assert record.n_rows == 600
+        assert record.has_embedding
+        assert record.path.is_dir()
+
+    def test_versions_accumulate(self, saved, fitted_engine):
+        record = saved.save("planted", fitted_engine)
+        assert record.version == 2
+        assert saved.versions("planted") == [1, 2]
+        assert saved.latest_version("planted") == 2
+        # both versions stay on disk — readers of v1 are never invalidated
+        assert saved.path("planted", version=1).is_dir()
+        assert saved.path("planted") == saved.path("planted", version=2)
+
+    def test_names_sorted(self, saved, fitted_nc_engine):
+        saved.save("alt", fitted_nc_engine)
+        assert saved.names() == ["alt", "planted"]
+        assert "planted" in saved and "missing" not in saved
+
+    def test_describe_pins_versions(self, saved, fitted_engine):
+        saved.save("planted", fitted_engine)
+        latest = saved.describe("planted")
+        pinned = saved.describe("planted", version=1)
+        assert latest.version == 2 and pinned.version == 1
+        assert latest.vocab_fingerprint == pinned.vocab_fingerprint
+
+    def test_records_cover_all_names(self, saved, fitted_nc_engine):
+        saved.save("alt", fitted_nc_engine)
+        records = saved.records()
+        assert [r.name for r in records] == ["alt", "planted"]
+        assert {r.algorithm for r in records} == {"nc", "subtab"}
+
+    def test_delete_version_repoints_latest(self, saved, fitted_engine):
+        saved.save("planted", fitted_engine)
+        saved.delete("planted", version=2)
+        assert saved.versions("planted") == [1]
+        assert saved.latest_version("planted") == 1
+
+    def test_delete_last_version_removes_name(self, saved):
+        saved.delete("planted", version=1)
+        assert "planted" not in saved
+        assert saved.names() == []
+
+    def test_delete_name_removes_everything(self, saved, fitted_engine):
+        saved.save("planted", fitted_engine)
+        saved.delete("planted")
+        assert saved.names() == []
+
+    @pytest.mark.parametrize("name", ["", ".hidden", "a/b", "..", "a b"])
+    def test_invalid_names_rejected(self, store, fitted_engine, name):
+        with pytest.raises(StoreError, match="invalid artifact name"):
+            store.save(name, fitted_engine)
+        assert name not in store
+
+
+class TestOpen:
+    def test_open_is_bit_identical_to_saved_engine(self, saved, fitted_engine):
+        opened = saved.open("planted")
+        for request in (SelectionRequest(k=4, l=3),
+                        SelectionRequest(k=3, l=3, targets=("OUTCOME",))):
+            cold = fitted_engine.select(request).subtable
+            warm = opened.select(request).subtable
+            assert warm.row_indices == cold.row_indices
+            assert warm.columns == cold.columns
+            assert warm.frame == cold.frame
+
+    def test_open_labels_engine_with_dataset(self, saved):
+        assert saved.open("planted").dataset == "planted"
+
+    def test_open_pinned_version(self, saved, fitted_engine):
+        saved.save("planted", fitted_engine)
+        engine = saved.open("planted", version=1)
+        assert engine.is_fitted
+
+    def test_open_with_algorithm_override(self, saved):
+        engine = saved.open("planted", algorithm="nc")
+        assert engine.algorithm == "nc"
+        assert engine.select(k=3, l=3).shape == (3, 3)
+
+    def test_unknown_name(self, saved):
+        with pytest.raises(UnknownEntryError, match="unknown artifact 'nope'"):
+            saved.open("nope")
+
+    def test_unknown_version(self, saved):
+        with pytest.raises(UnknownEntryError, match="no version 7"):
+            saved.open("planted", version=7)
+
+    def test_concurrent_open_same_name(self, saved, fitted_engine):
+        """Concurrent opens are supported: every engine is independent and
+        serves identically."""
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            engines = list(pool.map(lambda _: saved.open("planted"), range(8)))
+        expected = fitted_engine.select(k=4, l=3).subtable
+        assert len({id(e) for e in engines}) == 8
+        for engine in engines:
+            served = engine.select(k=4, l=3).subtable
+            assert served.row_indices == expected.row_indices
+            assert served.columns == expected.columns
+
+
+class TestFailureModes:
+    """Every failure mode raises a clear typed error, never a numpy trace."""
+
+    def test_corrupted_manifest_json(self, saved):
+        (saved.path("planted") / "manifest.json").write_text("{not json")
+        with pytest.raises(ArtifactError, match="JSON"):
+            saved.open("planted")
+
+    def test_unsupported_artifact_version(self, saved):
+        path = saved.path("planted") / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["version"] = ARTIFACT_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        # the catalog fingerprints still match, so the version gate of the
+        # artifact layer is what fires
+        with pytest.raises(ArtifactError, match="version"):
+            saved.open("planted")
+
+    def test_stale_fingerprint_detected(self, saved, planted_frame,
+                                        fast_subtab_config):
+        """Re-fitting an artifact directory behind the store's back must not
+        serve: the catalog remembers what was saved."""
+        other = Engine("nc", fast_subtab_config).fit(
+            planted_frame.take(list(range(100)))
+        )
+        other.save(saved.path("planted"))  # overwrite in place, bypassing store
+        with pytest.raises(StaleFingerprintError, match="behind the store"):
+            saved.open("planted")
+
+    def test_missing_artifact_files(self, saved):
+        (saved.path("planted") / "manifest.json").unlink()
+        with pytest.raises(ArtifactError, match="missing files"):
+            saved.open("planted")
+
+    def test_corrupt_catalog_json(self, saved):
+        (saved.root / "planted" / "store.json").write_text("[broken")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            saved.open("planted")
+
+    def test_unsupported_catalog_version(self, saved):
+        path = saved.root / "planted" / "store.json"
+        meta = json.loads(path.read_text())
+        meta["store_version"] = 99
+        path.write_text(json.dumps(meta))
+        with pytest.raises(StoreError, match="store catalog version"):
+            saved.open("planted")
+
+    def test_tampered_arrays_still_caught_by_artifact_layer(self, saved):
+        arrays_path = saved.path("planted") / "arrays.npz"
+        with np.load(arrays_path, allow_pickle=False) as arrays:
+            payload = {name: arrays[name] for name in arrays.files}
+        payload["codes"] = payload["codes"].copy()
+        payload["codes"][0, 0] += 1
+        with arrays_path.open("wb") as handle:
+            np.savez(handle, **payload)
+        with pytest.raises(ArtifactError, match="data fingerprint"):
+            saved.open("planted")
