@@ -31,8 +31,10 @@ Layered bottom-up:
   batches, via ``select_many``) to lazily loaded engines behind a
   capacity-bounded eviction policy.
 
-For multi-process serving of one artifact, see
-:class:`repro.serve.EnginePool`.
+For serving topologies above this stack — process pools, socket
+transport, consistent-hash clusters — see the
+:class:`repro.serve.ExecutionBackend` protocol and its implementations
+(:mod:`repro.serve`).
 """
 
 from repro.api.artifacts import (

@@ -8,12 +8,23 @@ Engine (which every selector now runs behind) owns the memoization.  The
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
 FULL_TABLE_FINGERPRINT = "<full-table>"
+
+
+def stable_hash64(data: "bytes | str") -> int:
+    """A process-stable 64-bit content hash (never ``hash()``, which is
+    salted per interpreter).  Both routing layers — the pool's worker
+    affinity and the cluster ring — key on this one function, so "same
+    request, same shard" holds across layers and across restarts."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
 
 
 def query_fingerprint(query: Any) -> str:

@@ -49,6 +49,19 @@ class WorkspaceStats:
     capacity: int
     resident: tuple
 
+    def to_json(self) -> dict:
+        """JSON-serializable snapshot, shaped like every serving-stats
+        object (``type`` + ``served`` + detail) so workspace, pool, and
+        cluster accounting report comparable fields."""
+        return {
+            "type": "workspace",
+            "served": self.served,
+            "engine_loads": self.engine_loads,
+            "engine_evictions": self.engine_evictions,
+            "capacity": self.capacity,
+            "resident": [list(key) for key in self.resident],
+        }
+
 
 class Workspace:
     """Multi-dataset serving surface over an :class:`ArtifactStore`.

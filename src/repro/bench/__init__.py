@@ -22,6 +22,7 @@ from repro.bench.harness import (
     scale_factor,
 )
 from repro.bench.experiments import (
+    ClusterQPSResult,
     ParameterTuningResult,
     PoolQPSResult,
     QualityResult,
@@ -30,6 +31,7 @@ from repro.bench.experiments import (
     SessionStudyResult,
     SlowBaselineResult,
     UserStudyExperimentResult,
+    run_cluster_qps_experiment,
     run_parameter_tuning_experiment,
     run_pool_qps_experiment,
     run_quality_experiment,
@@ -43,6 +45,7 @@ from repro.bench.reporting import format_bars, format_series, format_table
 
 __all__ = [
     "BENCH_ROWS",
+    "ClusterQPSResult",
     "DatasetBundle",
     "ParameterTuningResult",
     "PoolQPSResult",
@@ -59,6 +62,7 @@ __all__ = [
     "load_bundle",
     "make_selector",
     "prepare_selectors",
+    "run_cluster_qps_experiment",
     "run_parameter_tuning_experiment",
     "run_pool_qps_experiment",
     "run_quality_experiment",

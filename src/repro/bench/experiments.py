@@ -802,25 +802,23 @@ def run_pool_qps_experiment(
             shutil.rmtree(artifact, ignore_errors=True)
 
 
-def _pool_qps_workload(
-    engine, artifact, bundle, fit_seconds, *, n_sessions, dataset_name,
-    k, l, seed, workers, rounds, max_states, shard_slack, routing,
-) -> PoolQPSResult:
-    """Serve the session workload through both paths (see the caller)."""
-    import math
+def _servable_session_states(
+    engine, bundle, *, n_sessions, dataset_name, k, l, seed, max_states,
+) -> list:
+    """Distinct, servable session states of a generated workload.
 
-    from repro.api import Engine, SelectionRequest, query_fingerprint
-    from repro.serve import EnginePool
+    Degenerate states would fail on every serving path; excluding them up
+    front keeps the compared workloads identical.  Shared by the pool and
+    cluster QPS experiments so both measure the same kind of cyclic,
+    LRU-adversarial session traffic.
+    """
+    from repro.api import SelectionRequest, query_fingerprint
 
-    engine.save(artifact)
     sessions = SessionGenerator(
         bundle.binned,
         pattern_columns=bundle.dataset.pattern_columns,
         seed=seed,
     ).generate(n_sessions, name=dataset_name)
-
-    # Distinct, servable session states (degenerate states would fail on
-    # both sides; exclude them up front so the workloads are identical).
     seen: set = set()
     states = []
     for session in sessions:
@@ -835,7 +833,24 @@ def _pool_qps_workload(
             except ValueError:
                 continue
             states.append(step.state)
+    return states
 
+
+def _pool_qps_workload(
+    engine, artifact, bundle, fit_seconds, *, n_sessions, dataset_name,
+    k, l, seed, workers, rounds, max_states, shard_slack, routing,
+) -> PoolQPSResult:
+    """Serve the session workload through both paths (see the caller)."""
+    import math
+
+    from repro.api import Engine, SelectionRequest
+    from repro.serve import EnginePool
+
+    engine.save(artifact)
+    states = _servable_session_states(
+        engine, bundle, n_sessions=n_sessions, dataset_name=dataset_name,
+        k=k, l=l, seed=seed, max_states=max_states,
+    )
     n_states = len(states)
     cache_size = max(1, math.ceil(shard_slack * n_states / workers))
     requests = [SelectionRequest(k=k, l=l, query=state) for state in states]
@@ -869,18 +884,248 @@ def _pool_qps_workload(
         "misses": stats.misses,
     }
 
-    # Pool: N workers warm-started from the same artifact.
+    # Pool: N workers warm-started from the same artifact.  The recorded
+    # dict is PoolStats' shared JSON shape, so the pool and cluster bench
+    # records carry comparable fields.
     with EnginePool(artifact, workers=workers, cache_size=cache_size,
                     routing=routing) as pool:
         pool.select_many(workload)
-        pool_stats = pool.stats
-    result.pool = {
-        "served": pool_stats.served,
-        "seconds": pool_stats.wall_seconds,
-        "qps": pool_stats.qps,
-        "hits": pool_stats.cache_hits,
-        "misses": pool_stats.cache_misses,
-        "startup_seconds": pool_stats.startup_seconds,
-        "per_worker": {str(w): c for w, c in sorted(pool_stats.per_worker.items())},
-    }
+        result.pool = pool.stats.to_json()
     return result
+
+
+# ---------------------------------------------------------------------------
+# Cluster QPS — consistent-hash members over the socket transport
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClusterQPSResult:
+    """Aggregate QPS of 1, 2, 4, ... socket-served cluster members.
+
+    ``members`` maps the member count (as a string, for JSON stability) to
+    that run's serving record — the same ``served``/``seconds``/``qps``/
+    ``hits``/``misses`` fields the pool benchmark records, so the two
+    trajectory files compare column for column.
+    """
+
+    dataset: str
+    algorithm: str
+    k: int
+    l: int
+    n_states: int
+    rounds: int
+    member_counts: tuple
+    workers_per_member: int
+    cache_size: int
+    fit_seconds: float
+    baseline: dict = field(default_factory=dict)
+    members: dict = field(default_factory=dict)
+    pool_reference: Optional[dict] = None
+
+    def qps(self, count: int) -> float:
+        return self.members[str(count)]["qps"]
+
+    @property
+    def scaling(self) -> dict:
+        """QPS of each member count relative to the 1-member cluster."""
+        base = self.qps(self.member_counts[0])
+        return {
+            str(count): (self.qps(count) / base if base else 0.0)
+            for count in self.member_counts
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "cluster_qps",
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "l": self.l,
+            "n_states": self.n_states,
+            "rounds": self.rounds,
+            "member_counts": list(self.member_counts),
+            "workers_per_member": self.workers_per_member,
+            "cache_size": self.cache_size,
+            "transport": "socket",
+            "fit_seconds": self.fit_seconds,
+            "baseline": dict(self.baseline),
+            "members": {key: dict(value) for key, value in self.members.items()},
+            "qps_scaling": self.scaling,
+            "pool_reference": self.pool_reference,
+        }
+
+    def render(self) -> str:
+        rows = [
+            ["single warm engine", self.baseline["served"],
+             self.baseline["seconds"], self.baseline["qps"]],
+        ]
+        for count in self.member_counts:
+            record = self.members[str(count)]
+            rows.append([
+                f"cluster x{count} (socket)", record["served"],
+                record["seconds"], record["qps"],
+            ])
+        table = format_table(
+            f"Cluster serving QPS ({self.algorithm} on {self.dataset}, "
+            f"{self.n_states} states x {self.rounds} rounds, "
+            f"cache={self.cache_size}/member, "
+            f"{self.workers_per_member} worker(s)/member)",
+            ["serving path", "# selects", "total s", "QPS"],
+            rows,
+        )
+        scaling = "   ".join(
+            f"x{count}: {self.scaling[str(count)]:.1f}x"
+            for count in self.member_counts
+        )
+        reference = ""
+        if self.pool_reference:
+            reference = (
+                f"\nsingle-host pool reference "
+                f"(BENCH_pool_qps.json): pool QPS "
+                f"{self.pool_reference['pool_qps']:.1f} over baseline "
+                f"{self.pool_reference['baseline_qps']:.1f}"
+            )
+        return f"{table}\nQPS scaling vs 1 member: {scaling}{reference}"
+
+
+def run_cluster_qps_experiment(
+    dataset_name: str = "cyber",
+    n_sessions: int = 12,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = None,
+    member_counts: Sequence[int] = (1, 2, 4),
+    workers_per_member: int = 1,
+    rounds: int = 6,
+    max_states: int = 48,
+    shard_slack: float = 2.0,
+    pool_reference_path: Optional[str] = None,
+    artifact_dir: Optional[str] = None,
+    algorithm: str = "subtab",
+) -> ClusterQPSResult:
+    """Measure aggregate QPS across 1 -> 2 -> 4 socket-served members.
+
+    Fits one engine, saves the artifact, and serves the same cyclic
+    session workload through consistent-hash clusters of growing size;
+    every member is a real subprocess socket server warm-starting from the
+    shared artifact (``Engine.load`` — the paper's phase split is what
+    makes member startup cheap; the artifact layout is what makes shipping
+    it to real hosts an rsync).  Per-member LRU capacity is fixed at
+    ``ceil(shard_slack * n_states / max(member_counts))`` for every run,
+    so aggregate cache capacity grows with the ring: one member thrashes
+    its LRU, the full ring holds the whole working set — the same sharding
+    effect :func:`run_pool_qps_experiment` measures in-process, now across
+    the host-boundary transport.
+
+    ``pool_reference_path`` may name a committed pool-bench record whose
+    baseline/pool QPS are embedded for side-by-side trajectory reading.
+    """
+    import json as json_module
+    import math
+    import shutil
+    import tempfile
+    from pathlib import Path as PathType
+
+    from repro.api import Engine, SelectionRequest
+    from repro.serve import ClusterRouter, spawn_artifact_server
+
+    bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+    config = SubTabConfig(k=k, l=l, seed=seed)
+    engine = Engine(algorithm, config=config)
+    fit_start = time.perf_counter()
+    engine.fit(bundle.frame, binned=bundle.binned)
+    fit_seconds = time.perf_counter() - fit_start
+    artifact = artifact_dir or tempfile.mkdtemp(prefix="repro-cluster-qps-")
+    try:
+        engine.save(artifact)
+        states = _servable_session_states(
+            engine, bundle, n_sessions=n_sessions, dataset_name=dataset_name,
+            k=k, l=l, seed=seed, max_states=max_states,
+        )
+        n_states = len(states)
+        cache_size = max(
+            1, math.ceil(shard_slack * n_states / max(member_counts))
+        )
+        requests = [SelectionRequest(k=k, l=l, query=state)
+                    for state in states]
+        workload = requests * rounds  # cyclic: LRU-adversarial per member
+
+        result = ClusterQPSResult(
+            dataset=bundle.name,
+            algorithm=engine.algorithm,
+            k=k,
+            l=l,
+            n_states=n_states,
+            rounds=rounds,
+            member_counts=tuple(member_counts),
+            workers_per_member=workers_per_member,
+            cache_size=cache_size,
+            fit_seconds=fit_seconds,
+        )
+
+        # Baseline: one warm-started in-process engine with one member's
+        # LRU capacity (the same baseline shape the pool bench records).
+        single = Engine.load(artifact, cache_size=cache_size)
+        start = time.perf_counter()
+        for request in workload:
+            single.select(request)
+        seconds = time.perf_counter() - start
+        stats = single.cache_stats
+        result.baseline = {
+            "served": len(workload),
+            "seconds": seconds,
+            "qps": len(workload) / seconds if seconds else 0.0,
+            "hits": stats.hits,
+            "misses": stats.misses,
+        }
+
+        for count in member_counts:
+            servers = [
+                spawn_artifact_server(
+                    artifact,
+                    workers=workers_per_member,
+                    cache_size=cache_size,
+                )
+                for _ in range(count)
+            ]
+            try:
+                router = ClusterRouter(
+                    [(f"m{i}", server.connect())
+                     for i, server in enumerate(servers)],
+                    replication=1,  # pure sharding: QPS, not failover
+                )
+                start = time.perf_counter()
+                router.select_many(workload)
+                seconds = time.perf_counter() - start
+                cluster_stats = router.stats()
+                router.close()
+            finally:
+                for server in servers:
+                    server.close()
+            result.members[str(count)] = {
+                "served": cluster_stats["served"],
+                "errors": cluster_stats["errors"],
+                "seconds": seconds,
+                "qps": cluster_stats["served"] / seconds if seconds else 0.0,
+                "failovers": cluster_stats["failovers"],
+                "per_member": {
+                    member["name"]: member["served"]
+                    for member in cluster_stats["members"]
+                },
+            }
+
+        if pool_reference_path:
+            reference_file = PathType(pool_reference_path)
+            if reference_file.is_file():
+                record = json_module.loads(reference_file.read_text())
+                result.pool_reference = {
+                    "baseline_qps": record["baseline"]["qps"],
+                    "pool_qps": record["pool"]["qps"],
+                    "workers": record["workers"],
+                    "routing": record["routing"],
+                }
+        return result
+    finally:
+        if artifact_dir is None:  # only clean up the directory we created
+            shutil.rmtree(artifact, ignore_errors=True)

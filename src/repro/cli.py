@@ -6,10 +6,14 @@ Commands:
   synthetic dataset, or a saved engine artifact, with any registered
   selection algorithm;
 * ``fit`` — preprocess a table once and save the fitted engine artifact;
-* ``serve`` — load a saved artifact and serve generated exploration
-  sessions from it, printing the latency/cache split; with ``--workers N``
-  the sessions are served by an :class:`~repro.serve.EnginePool` of N
-  warm-start processes and the aggregate QPS is reported;
+* ``serve`` — build an :class:`~repro.serve.ExecutionBackend` from the
+  flags and drive generated exploration sessions through it.  One code
+  path covers every topology: in-process (default), a warm-start
+  :class:`~repro.serve.EnginePool` (``--workers N``), a socket *server*
+  exposing the backend to other hosts (``--transport socket``), and a
+  client of one or more remote servers (``--connect HOST:PORT[,...]`` —
+  several members form a consistent-hash
+  :class:`~repro.serve.ClusterRouter` with ``--replicas`` failover);
 * ``experiment`` — run one of the paper's experiments and print its
   table/figure;
 * ``datasets`` — list the available synthetic datasets;
@@ -23,6 +27,10 @@ Examples::
     python -m repro show --artifact /tmp/cyber-engine
     python -m repro serve --artifact /tmp/cyber-engine --sessions 5
     python -m repro serve --artifact /tmp/cyber-engine --workers 4 --routing hash
+    python -m repro serve --artifact /tmp/cyber-engine --transport socket --port 7341
+    python -m repro serve --artifact /tmp/cyber-engine --connect 127.0.0.1:7341
+    python -m repro serve --artifact /tmp/cyber-engine \
+        --connect hostA:7341,hostB:7341 --replicas 2
     python -m repro experiment fig8 --rows 1500
 """
 
@@ -106,7 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve", help="serve exploration sessions from a saved artifact"
     )
     serve.add_argument("--artifact", required=True,
-                       help="path to a saved engine artifact directory")
+                       help="path to a saved engine artifact directory "
+                            "(with --connect: used to generate the session "
+                            "workload; the remote servers do the serving)")
     serve.add_argument("--sessions", type=int, default=3,
                        help="synthetic exploration sessions to serve")
     serve.add_argument("-k", type=int, default=None, help="sub-table rows")
@@ -122,6 +132,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="pool request routing: one shared queue, or "
                             "per-worker queues keyed by request hash "
                             "(shards the selection LRUs)")
+    serve.add_argument("--transport", choices=["inproc", "socket"],
+                       default="inproc",
+                       help="inproc: drive the backend in this process; "
+                            "socket: expose it as a length-prefixed JSON "
+                            "socket server on --host/--port instead")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --transport socket")
+    serve.add_argument("--port", type=int, default=7341,
+                       help="bind port for --transport socket (0: ephemeral)")
+    serve.add_argument("--connect", default=None, metavar="HOST:PORT[,...]",
+                       help="serve through remote socket server(s); several "
+                            "comma-separated members form a consistent-hash "
+                            "cluster with failover")
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="replica-set size per request when --connect "
+                            "lists several members (failover breadth)")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS.keys()))
@@ -184,14 +210,134 @@ def _cmd_fit(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    from repro.queries.generator import SessionGenerator
+def _build_serve_backend(args) -> tuple:
+    """The ``ExecutionBackend`` the flags describe, plus its banner line.
 
-    engine = Engine.load(args.artifact, cache_size=args.cache_size)
-    print(f"Artifact: {args.artifact} (algorithm={engine.algorithm}, "
-          f"loaded in {engine.timings_['artifact_load']:.2f}s, "
-          f"pre-processing skipped)")
-    sessions = SessionGenerator(engine.binned, seed=args.seed).generate(
+    This is the whole topology story of ``serve``: every combination of
+    flags builds *some* backend and the driving loop below is identical
+    for all of them.
+    """
+    from repro.serve import ClusterRouter, RemoteBackend, artifact_backend
+
+    if args.connect:
+        addresses = [a.strip() for a in args.connect.split(",") if a.strip()]
+        if not addresses:
+            raise SystemExit("serve: --connect needs at least one HOST:PORT")
+        try:
+            members = [(address, RemoteBackend(address))
+                       for address in addresses]
+            if len(addresses) == 1:
+                return (members[0][1],
+                        f"Backend: remote server {addresses[0]}")
+            cluster = ClusterRouter(
+                members,
+                replication=args.replicas,
+            )
+        except ValueError as error:  # bad address, duplicate, replicas < 1
+            raise SystemExit(f"serve: {error}") from error
+        return (cluster,
+                f"Backend: cluster of {len(addresses)} members "
+                f"(replication={args.replicas}, consistent-hash routing)")
+    backend = artifact_backend(
+        args.artifact,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        routing=args.routing,
+    )
+    if args.workers > 1:
+        return (backend,
+                f"Pool: {args.workers} workers warm-started in "
+                f"{backend.pool.stats.startup_seconds:.2f}s "
+                f"(routing={args.routing})")
+    return backend, "Backend: in-process engine"
+
+
+def _render_serving_stats(stats: dict, results) -> str:
+    """One summary line from a backend's ``stats()`` payload."""
+    from repro.api import SelectionResponse
+
+    kind = stats.get("backend")
+    if kind == "inproc":
+        responses = [r for r in results if isinstance(r, SelectionResponse)]
+        total = sum(r.select_seconds for r in responses)
+        mean_ms = 1000.0 * total / len(responses) if responses else 0.0
+        hits = stats["cache"]["hits"]
+        misses = stats["cache"]["misses"]
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        return (f"mean select latency: {mean_ms:.2f} ms   "
+                f"cache: hits={hits} misses={misses} hit_rate={rate:.0%}")
+    if kind == "pool":
+        pool = stats["pool"]
+        per_worker = " ".join(
+            f"w{worker}={count}"
+            for worker, count in sorted(pool["per_worker"].items(),
+                                        key=lambda kv: int(kv[0]))
+        )
+        return (f"aggregate QPS: {stats['qps']:.1f}   "
+                f"cache: hits={pool['hits']} misses={pool['misses']}   "
+                f"per-worker: {per_worker}")
+    if kind == "cluster":
+        members = " ".join(
+            f"{member['name']}={member['served']}"
+            for member in stats["members"]
+        )
+        return (f"aggregate QPS: {stats['qps']:.1f}   "
+                f"failovers: {stats['failovers']}   per-member: {members}")
+    if kind == "remote":
+        return (f"aggregate QPS: {stats['qps']:.1f}   "
+                f"server: {stats['address']}")
+    return f"aggregate QPS: {stats.get('qps', 0.0):.1f}"
+
+
+def _serve_socket(args) -> int:
+    """Expose the locally built backend on a TCP address (server mode)."""
+    from repro.serve import SocketServer, artifact_backend
+
+    backend = artifact_backend(
+        args.artifact,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        routing=args.routing,
+    )
+    server = SocketServer(backend, host=args.host, port=args.port,
+                          own_backend=True)
+    host, port = server.address
+    print(f"serving {args.artifact} on {host}:{port} "
+          f"(workers={args.workers}, routing={args.routing}); "
+          f"Ctrl-C to stop", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.api import SelectionResponse
+    from repro.api.artifacts import load_artifact
+    from repro.queries.generator import SessionGenerator
+    from repro.serve import BackendError, InProcessBackend
+
+    if args.connect and args.transport == "socket":
+        raise SystemExit("serve: --connect is a client mode; it cannot be "
+                         "combined with --transport socket")
+    if args.transport == "socket":
+        return _serve_socket(args)
+
+    # One code path for every topology: build a backend, drive it.
+    backend, banner = _build_serve_backend(args)
+    if isinstance(backend, InProcessBackend):
+        # The backend already loaded the artifact — reuse its state for
+        # session generation instead of reading the directory twice.
+        binned, algorithm = backend.host.binned, backend.host.algorithm
+    else:
+        artifact = load_artifact(args.artifact)
+        binned, algorithm = artifact.binned, artifact.algorithm
+    print(f"Artifact: {args.artifact} (algorithm={algorithm})")
+    print(banner)
+    sessions = SessionGenerator(binned, seed=args.seed).generate(
         args.sessions
     )
     requests = [
@@ -199,52 +345,24 @@ def _cmd_serve(args) -> int:
         for session in sessions
         for step in session
     ]
-    if args.workers > 1:
-        return _serve_pooled(args, requests)
-    served = failures = 0
-    total_seconds = 0.0
-    for request in requests:
-        try:
-            response = engine.select(request)
-        except ValueError:
-            failures += 1
-            continue
-        served += 1
-        total_seconds += response.select_seconds
-    stats = engine.cache_stats
-    mean_ms = 1000.0 * total_seconds / served if served else 0.0
-    print(f"Served {served} displays over {args.sessions} sessions "
-          f"({failures} degenerate states skipped)")
-    print(f"mean select latency: {mean_ms:.2f} ms   "
-          f"cache: hits={stats.hits} misses={stats.misses} "
-          f"hit_rate={stats.hit_rate:.0%}")
-    return 0
-
-
-def _serve_pooled(args, requests) -> int:
-    from repro.api import SelectionResponse
-    from repro.serve import EnginePool
-
-    with EnginePool(
-        args.artifact,
-        workers=args.workers,
-        cache_size=args.cache_size,
-        routing=args.routing,
-    ) as pool:
-        print(f"Pool: {args.workers} workers warm-started in "
-              f"{pool.stats.startup_seconds:.2f}s (routing={args.routing})")
-        results = pool.select_many(requests, raise_on_error=False)
-        stats = pool.stats
+    try:
+        results = backend.select_many(requests, raise_on_error=False)
+        stats = backend.stats()
+    except BackendError as error:
+        print(f"serve: backend failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        backend.close()
     served = sum(1 for r in results if isinstance(r, SelectionResponse))
-    failures = len(results) - served
+    backend_failures = [r for r in results if isinstance(r, BackendError)]
+    skipped = len(results) - served - len(backend_failures)
     print(f"Served {served} displays over {args.sessions} sessions "
-          f"({failures} degenerate states skipped)")
-    per_worker = " ".join(
-        f"w{worker}={count}" for worker, count in sorted(stats.per_worker.items())
-    )
-    print(f"aggregate QPS: {stats.qps:.1f}   "
-          f"cache: hits={stats.cache_hits} misses={stats.cache_misses}   "
-          f"per-worker: {per_worker}")
+          f"({skipped} degenerate states skipped)")
+    print(_render_serving_stats(stats, results))
+    if backend_failures:
+        print(f"serve: {len(backend_failures)} request(s) failed at the "
+              f"backend level: {backend_failures[0]}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,38 +1,91 @@
-"""Multi-process serving layer (and the legacy SubTabService shim).
+"""The serving layer: one ExecutionBackend protocol, many topologies.
 
 Public surface::
 
-    from repro.serve import EnginePool, PoolStats, SubTabService
+    from repro.serve import (
+        ExecutionBackend, InProcessBackend, PoolBackend,   # local backends
+        RemoteBackend, SocketServer, spawn_artifact_server, # socket transport
+        ClusterRouter,                                     # consistent-hash ring
+        EnginePool, PoolStats,                             # process pool
+        BackendError, RequestError, TransportError,        # error taxonomy
+        PoolError, PoolRequestError, PoolWorkerDied, ClusterError,
+        artifact_backend,
+    )
 
-:class:`EnginePool` serves one saved engine artifact from N warm-start
-worker processes (each ``Engine.load``-s the artifact and skips all heavy
-preprocessing), draining requests from a shared queue — or, with
-``routing="hash"``, from per-worker queues that shard the selection LRUs —
-with aggregate-QPS accounting.
+Every serving path implements the same four-method
+:class:`~repro.serve.backend.ExecutionBackend` protocol (``select``,
+``select_many``, ``stats``, ``close``), so topologies compose: an
+:class:`InProcessBackend` wraps one engine or workspace, a
+:class:`PoolBackend` wraps an :class:`EnginePool` of warm-start worker
+processes, a :class:`RemoteBackend` speaks the length-prefixed JSON socket
+protocol of :class:`SocketServer` across a host boundary, and a
+:class:`ClusterRouter` consistent-hashes ``(dataset, request-hash)`` over
+member backends with per-dataset replication and failover — and is itself
+a backend, so clusters nest (a cluster of pools of engines).
 
 :class:`SubTabService` is the original single-table serving API, kept as a
-deprecated shim over :class:`repro.api.Engine`; new code should use
-:class:`repro.api.Engine` (one dataset) or :class:`repro.api.Workspace`
-(many datasets).  The cache primitives re-exported here live in
-:mod:`repro.api.cache`.
+deprecated shim over :class:`repro.api.Engine`.  The cache primitives
+re-exported here live in :mod:`repro.api.cache`.
 """
 
 from repro.api.cache import CacheStats, LRUCache, query_fingerprint
-from repro.serve.pool import (
-    EnginePool,
+from repro.serve.backend import (
+    BaseBackend,
+    ExecutionBackend,
+    InProcessBackend,
+    PoolBackend,
+    artifact_backend,
+)
+from repro.serve.cluster import ClusterRouter, request_key
+from repro.serve.errors import (
+    BackendError,
+    ClusterError,
     PoolError,
     PoolRequestError,
-    PoolStats,
+    PoolWorkerDied,
+    RemoteRequestError,
+    RemoteServerError,
+    RequestError,
+    TransportError,
 )
+from repro.serve.pool import EnginePool, PoolStats
 from repro.serve.service import SubTabService
+from repro.serve.transport import (
+    RemoteBackend,
+    SocketServer,
+    SpawnedServer,
+    recv_frame,
+    send_frame,
+    spawn_artifact_server,
+)
 
 __all__ = [
+    "BackendError",
+    "BaseBackend",
     "CacheStats",
+    "ClusterError",
+    "ClusterRouter",
     "EnginePool",
+    "ExecutionBackend",
+    "InProcessBackend",
     "LRUCache",
+    "PoolBackend",
     "PoolError",
     "PoolRequestError",
     "PoolStats",
+    "PoolWorkerDied",
+    "RemoteBackend",
+    "RemoteRequestError",
+    "RemoteServerError",
+    "RequestError",
+    "SocketServer",
+    "SpawnedServer",
     "SubTabService",
+    "TransportError",
+    "artifact_backend",
     "query_fingerprint",
+    "recv_frame",
+    "request_key",
+    "send_frame",
+    "spawn_artifact_server",
 ]

@@ -1,0 +1,298 @@
+"""One ExecutionBackend protocol over every serving path.
+
+Before this module there were three divergent ways to serve a
+:class:`~repro.api.SelectionRequest` — ``Workspace.select`` in process,
+``EnginePool.select_many`` with its own routing and error handling, and the
+CLI's pooled-vs-single fork.  They are now implementations of a single
+four-method protocol:
+
+* :meth:`ExecutionBackend.select` — serve one request;
+* :meth:`ExecutionBackend.select_many` — serve a batch in request order,
+  returning :class:`~repro.api.SelectionResponse` entries (or, with
+  ``raise_on_error=False``, the per-request exception in that slot);
+* :meth:`ExecutionBackend.stats` — a JSON-serializable accounting snapshot
+  with a shared core (``backend``/``served``/``errors``/``seconds``/
+  ``qps``) plus backend-specific detail;
+* :meth:`ExecutionBackend.close` — release processes/sockets/engines.
+
+Implementations: :class:`InProcessBackend` (an :class:`~repro.api.Engine`
+or :class:`~repro.api.Workspace` in this process), :class:`PoolBackend`
+(an :class:`~repro.serve.EnginePool` of warm-start worker processes),
+:class:`~repro.serve.transport.RemoteBackend` (a length-prefixed JSON
+socket to another host), and :class:`~repro.serve.cluster.ClusterRouter`
+(a consistent-hash ring of member backends).  Because the router is itself
+a backend, topologies nest: a cluster of pools of engines, a cluster of
+remote clusters, ...
+
+Error contract (see :mod:`repro.serve.errors`): per-request failures are
+:class:`~repro.serve.errors.RequestError`-like and identical on every
+replica; :class:`~repro.serve.errors.BackendError` means *this backend* is
+unusable and a replica may still serve.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.api.engine import Engine
+from repro.api.request import SelectionRequest, SelectionResponse
+from repro.api.workspace import Workspace
+from repro.serve.errors import BackendError
+from repro.serve.pool import EnginePool
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The structural protocol every serving backend satisfies."""
+
+    def select(self, request: SelectionRequest) -> SelectionResponse:
+        """Serve one request (raises on failure)."""
+        ...
+
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        """Serve a batch; entries are responses (or exceptions when
+        ``raise_on_error=False``), in request order."""
+        ...
+
+    def stats(self) -> dict:
+        """JSON-serializable accounting (shared core + backend detail)."""
+        ...
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+        ...
+
+
+def core_stats(kind: str, served: int, errors: int, seconds: float) -> dict:
+    """The stats envelope every backend shares (benches compare on it)."""
+    return {
+        "backend": kind,
+        "served": served,
+        "errors": errors,
+        "seconds": seconds,
+        "qps": served / seconds if seconds else 0.0,
+    }
+
+
+class BaseBackend:
+    """Shared accounting, context management, and ``select`` in terms of
+    ``select_many`` for the concrete backends."""
+
+    kind = "backend"
+
+    def __init__(self):
+        self._served = 0
+        self._errors = 0
+        self._seconds = 0.0
+        self._closed = False
+
+    # -- protocol ------------------------------------------------------------
+    def select(self, request: SelectionRequest) -> SelectionResponse:
+        return self.select_many([request], raise_on_error=True)[0]
+
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        return core_stats(self.kind, self._served, self._errors, self._seconds)
+
+    def close(self) -> None:
+        self._closed = True
+
+    # -- shared plumbing -----------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise BackendError(f"{type(self).__name__} is closed")
+
+    def _account(self, entries: Sequence, seconds: float) -> None:
+        self._served += sum(
+            1 for e in entries if isinstance(e, SelectionResponse)
+        )
+        self._errors += sum(
+            1 for e in entries if not isinstance(e, SelectionResponse)
+        )
+        self._seconds += seconds
+
+    @staticmethod
+    def _finish(entries: list, raise_on_error: bool) -> list:
+        if raise_on_error:
+            for entry in entries:
+                if isinstance(entry, BaseException):
+                    raise entry
+        return entries
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessBackend(BaseBackend):
+    """This process serves: an :class:`Engine` (one dataset) or a
+    :class:`Workspace` (many datasets) behind the backend protocol.
+
+    >>> backend = InProcessBackend.from_artifact("/tmp/engine")  # doctest: +SKIP
+    >>> backend.select(SelectionRequest(k=5, l=4))               # doctest: +SKIP
+    """
+
+    kind = "inproc"
+
+    def __init__(self, host: "Engine | Workspace"):
+        super().__init__()
+        if not hasattr(host, "select"):
+            raise TypeError(
+                f"InProcessBackend hosts an Engine or Workspace, got "
+                f"{type(host).__name__}"
+            )
+        self.host = host
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: "str | Path",
+        cache_size: int = 256,
+        algorithm: Optional[str] = None,
+        selector_options: Optional[dict] = None,
+        dataset: Optional[str] = None,
+    ) -> "InProcessBackend":
+        """Warm-start one :class:`Engine` from a saved artifact."""
+        return cls(Engine.load(
+            artifact,
+            cache_size=cache_size,
+            algorithm=algorithm,
+            selector_options=selector_options,
+            dataset=dataset,
+        ))
+
+    @classmethod
+    def from_store(cls, store, **workspace_options) -> "InProcessBackend":
+        """A multi-dataset backend: a :class:`Workspace` over ``store``."""
+        return cls(Workspace(store, **workspace_options))
+
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        self._require_open()
+        start = time.perf_counter()
+        entries: list = []
+        for request in requests:
+            try:
+                entries.append(self.host.select(request))
+            except Exception as error:
+                entries.append(error)
+        self._account(entries, time.perf_counter() - start)
+        return self._finish(entries, raise_on_error)
+
+    def stats(self) -> dict:
+        payload = super().stats()
+        if isinstance(self.host, Workspace):
+            payload["workspace"] = self.host.stats.to_json()
+        else:
+            cache = self.host.cache_stats
+            payload["cache"] = {"hits": cache.hits, "misses": cache.misses}
+        return payload
+
+    def close(self) -> None:
+        if isinstance(self.host, Workspace):
+            self.host.evict()
+        super().close()
+
+
+class PoolBackend(BaseBackend):
+    """An :class:`EnginePool` of warm-start worker processes, conformed to
+    the backend protocol.  Constructing the backend starts the pool (every
+    worker ``Engine.load``-s the artifact); adopt an already-built pool via
+    ``pool=``."""
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        artifact: "str | Path | None" = None,
+        workers: int = 2,
+        cache_size: int = 256,
+        algorithm: Optional[str] = None,
+        selector_options: Optional[dict] = None,
+        routing: str = "shared",
+        start_method: Optional[str] = None,
+        pool: Optional[EnginePool] = None,
+    ):
+        super().__init__()
+        if pool is None:
+            if artifact is None:
+                raise ValueError("PoolBackend needs an artifact (or a pool)")
+            pool = EnginePool(
+                artifact,
+                workers=workers,
+                cache_size=cache_size,
+                algorithm=algorithm,
+                selector_options=selector_options,
+                routing=routing,
+                start_method=start_method,
+            )
+        self.pool = pool.start()
+
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        self._require_open()
+        start = time.perf_counter()
+        entries = self.pool.select_many(requests, raise_on_error=False)
+        self._account(entries, time.perf_counter() - start)
+        return self._finish(entries, raise_on_error)
+
+    def stats(self) -> dict:
+        payload = super().stats()
+        payload["pool"] = self.pool.stats.to_json()
+        return payload
+
+    def close(self) -> None:
+        self.pool.close()
+        super().close()
+
+
+def artifact_backend(
+    artifact: "str | Path",
+    workers: int = 1,
+    cache_size: int = 256,
+    routing: str = "shared",
+    algorithm: Optional[str] = None,
+    selector_options: Optional[dict] = None,
+) -> "InProcessBackend | PoolBackend":
+    """The standard local backend over one saved artifact.
+
+    ``workers=1`` loads the engine in this process; ``workers>1`` starts an
+    :class:`EnginePool`.  This is the single builder the CLI's ``serve``
+    command and the socket server's subprocess helper share, so every
+    entry point grows new backends in one place.
+    """
+    if workers > 1:
+        return PoolBackend(
+            artifact,
+            workers=workers,
+            cache_size=cache_size,
+            algorithm=algorithm,
+            selector_options=selector_options,
+            routing=routing,
+        )
+    return InProcessBackend.from_artifact(
+        artifact,
+        cache_size=cache_size,
+        algorithm=algorithm,
+        selector_options=selector_options,
+    )

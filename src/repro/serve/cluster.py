@@ -1,0 +1,363 @@
+"""ClusterRouter: a consistent-hash ring of member backends.
+
+The multi-host leg of the serving stack.  A :class:`ClusterRouter` owns N
+member :class:`~repro.serve.backend.ExecutionBackend`\\ s — remote socket
+servers, local pools, bare engines, or nested clusters — and routes every
+request by a **consistent-hash ring** keyed on ``(dataset,
+request-hash)``:
+
+* each member contributes ``vnodes`` virtual points to the ring (hashed
+  from its *name*, so the placement is stable across processes and
+  restarts — the same request always lands on the same member, which is
+  what keeps the members' selection LRUs sharded and warm);
+* a request's key is a stable content hash of its wire form, prefixed by
+  its dataset, so affinity follows content, not arrival order;
+* the first ``r`` *distinct* members clockwise from the key are its
+  replica set, where ``r`` is the per-dataset replication factor
+  (``dataset_replication`` overrides the default ``replication``);
+* the first live replica serves; a member that raises a
+  :class:`~repro.serve.errors.BackendError` (dead socket, dead pool
+  worker, exhausted nested cluster) is marked suspect and the request
+  **fails over** to the next replica.  Request-level errors (unknown
+  target, degenerate query) never fail over — they would fail identically
+  everywhere.
+
+The router is itself an :class:`ExecutionBackend`, so topologies nest: a
+cluster of pools, a cluster whose members are remote clusters, ...
+``select_many`` drains each member's share concurrently (one thread per
+member group), which is where multi-host aggregate QPS comes from.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.api.cache import stable_hash64
+from repro.api.request import SelectionRequest, SelectionResponse
+from repro.serve.backend import BaseBackend
+from repro.serve.errors import BackendError, ClusterError
+
+DEFAULT_VNODES = 64
+
+
+def request_key(request: SelectionRequest) -> bytes:
+    """The ``(dataset, request-content)`` ring key of one request.
+
+    The key is the full wire form (stable across processes — never
+    ``hash()``, which is salted per interpreter) prefixed by the dataset,
+    so per-dataset replication reads naturally off the key; the ring hashes
+    it with one :func:`stable_hash64` pass.
+    """
+    return f"{request.dataset or ''}\x1f{request.to_json()}".encode("utf-8")
+
+
+@dataclass
+class _Member:
+    """One cluster member plus its routing accounting."""
+
+    name: str
+    backend: Any
+    routed: int = 0
+    served: int = 0
+    errors: int = 0
+    dead: bool = False
+    last_error: Optional[str] = None
+
+
+class ClusterRouter(BaseBackend):
+    """Consistent-hash routing (with replication and failover) over member
+    backends.
+
+    >>> router = ClusterRouter([("a", backend_a), ("b", backend_b)],
+    ...                        replication=2)                # doctest: +SKIP
+    >>> router.select_many(requests)                         # doctest: +SKIP
+
+    Parameters
+    ----------
+    members:
+        The member backends, as ``(name, backend)`` pairs or bare backends
+        (then named ``member-0``, ``member-1``, ... in order).  Names place
+        the vnodes, so keep them stable across restarts.
+    replication:
+        Default replica-set size per request (clamped to the member
+        count).  ``1`` disables failover.
+    dataset_replication:
+        Per-dataset overrides, ``{dataset_name: replicas}`` — hot datasets
+        can replicate wider than the default.
+    vnodes:
+        Virtual points per member on the ring (more = smoother balance).
+    own_members:
+        Close the members when the router closes.
+    """
+
+    kind = "cluster"
+
+    def __init__(
+        self,
+        members: Sequence,
+        replication: int = 2,
+        dataset_replication: Optional[dict] = None,
+        vnodes: int = DEFAULT_VNODES,
+        own_members: bool = True,
+    ):
+        super().__init__()
+        if not members:
+            raise ValueError("a cluster needs at least one member")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._members: list[_Member] = []
+        for index, entry in enumerate(members):
+            if isinstance(entry, tuple):
+                name, backend = entry
+            else:
+                name, backend = f"member-{index}", entry
+            self._members.append(_Member(str(name), backend))
+        names = [member.name for member in self._members]
+        if len(set(names)) != len(names):
+            raise ValueError(f"member names must be unique, got {names}")
+        self.replication = replication
+        self.dataset_replication = dict(dataset_replication or {})
+        self.vnodes = vnodes
+        self._own_members = own_members
+        self._failovers = 0
+        # Guards the failure bookkeeping (_mark_failed / _failovers), which
+        # member drain threads update concurrently.
+        self._suspect_lock = threading.Lock()
+        ring = []
+        for index, member in enumerate(self._members):
+            for vnode in range(vnodes):
+                point = stable_hash64(f"{member.name}#{vnode}".encode("utf-8"))
+                ring.append((point, index))
+        ring.sort()
+        self._ring_points = [point for point, _ in ring]
+        self._ring_members = [index for _, index in ring]
+
+    # -- ring ----------------------------------------------------------------
+    @property
+    def member_names(self) -> list[str]:
+        return [member.name for member in self._members]
+
+    def _effective_replication(self, dataset: Optional[str]) -> int:
+        r = self.dataset_replication.get(dataset, self.replication)
+        return max(1, min(int(r), len(self._members)))
+
+    def replicas_for(self, request: SelectionRequest) -> list[str]:
+        """Member names of the request's replica set, ring order (the first
+        is the primary while every member is live)."""
+        return [self._members[i].name for i in self._replica_indices(request)]
+
+    def _replica_indices(
+        self, request: SelectionRequest, point: Optional[int] = None,
+    ) -> list[int]:
+        wanted = self._effective_replication(request.dataset)
+        if point is None:
+            point = stable_hash64(request_key(request))
+        start = bisect.bisect(self._ring_points, point)
+        chosen: list[int] = []
+        n = len(self._ring_points)
+        for step in range(n):
+            index = self._ring_members[(start + step) % n]
+            if index not in chosen:
+                chosen.append(index)
+                if len(chosen) == wanted:
+                    break
+        return chosen
+
+    def _attempt_order(self, indices: Sequence[int]) -> list[int]:
+        """Live replicas first; suspects last (a recovered member gets
+        another chance only once every live replica has failed too)."""
+        live = [i for i in indices if not self._members[i].dead]
+        dead = [i for i in indices if self._members[i].dead]
+        return live + dead
+
+    def _mark_failed(self, index: int, error: BaseException) -> None:
+        with self._suspect_lock:
+            member = self._members[index]
+            member.dead = True
+            member.errors += 1
+            member.last_error = f"{type(error).__name__}: {error}"
+
+    def revive(self) -> None:
+        """Forget suspicions; every member routes again (e.g. after an
+        operator restarted a host)."""
+        for member in self._members:
+            member.dead = False
+
+    # -- serving -------------------------------------------------------------
+    def _serve_with_failover(self, request: SelectionRequest,
+                             prior_failure: bool = False,
+                             skip_dead: bool = False,
+                             point: Optional[int] = None):
+        """One response, trying each replica in order.  Returns the
+        response; raises request-level errors as-is and
+        :class:`ClusterError` when every replica fails at the member
+        level.  ``prior_failure`` marks a request whose first attempt
+        already failed elsewhere (a batch drain), so a success here counts
+        as a failover even when the first replica tried serves.
+        ``skip_dead`` drops quarantined replicas instead of trying them
+        last — the batch failover pass uses it so a dead member's connect
+        latency is paid once per batch, not once per request."""
+        indices = self._replica_indices(request, point)
+        order = self._attempt_order(indices)
+        if skip_dead:
+            order = [i for i in order if not self._members[i].dead]
+            if not order:
+                raise ClusterError(
+                    f"all {len(indices)} replica(s) of this request are "
+                    "marked dead (revive() readmits them)"
+                )
+        attempts = []
+        for index in order:
+            member = self._members[index]
+            member.routed += 1
+            try:
+                response = member.backend.select(request)
+            except BackendError as error:
+                self._mark_failed(index, error)
+                attempts.append(f"{member.name}: {member.last_error}")
+                continue
+            member.dead = False  # served fine: clear any stale suspicion
+            member.served += 1
+            if attempts or prior_failure:
+                # This request was actually re-served after a member
+                # failure — that, and only that, is a failover.
+                with self._suspect_lock:
+                    self._failovers += 1
+            return response
+        raise ClusterError(
+            f"all {len(indices)} replica(s) failed for this request: "
+            + "; ".join(attempts)
+        )
+
+    def select(self, request: SelectionRequest) -> SelectionResponse:
+        self._require_open()
+        start = time.perf_counter()
+        try:
+            response = self._serve_with_failover(request)
+        except Exception as error:
+            self._account([error], time.perf_counter() - start)
+            raise
+        self._account([response], time.perf_counter() - start)
+        return response
+
+    def _drain_group(self, index: int, numbered: list) -> list:
+        """Serve one member's share.  Returns ``(position, entry)`` pairs;
+        member-level failures are left as :class:`BackendError` entries for
+        the caller to fail over *after* every drain thread has joined — a
+        drain thread must never call another member's backend, whose own
+        thread may be mid-conversation on the same socket.
+
+        Member failure shows up two ways: the whole ``select_many`` call
+        raises :class:`BackendError`, or — when the member is itself a
+        router serving with ``raise_on_error=False`` — individual entries
+        *are* ``BackendError`` instances.
+        """
+        member = self._members[index]
+        requests = [request for _, request in numbered]
+        member.routed += len(requests)
+        try:
+            entries = member.backend.select_many(requests, raise_on_error=False)
+        except BackendError as error:
+            self._mark_failed(index, error)
+            entries = [error] * len(requests)
+        else:
+            backend_errors = [e for e in entries
+                              if isinstance(e, BackendError)]
+            if backend_errors:
+                # A nested router reports member-level failure as entries
+                # rather than raising; that still means this member could
+                # not serve — suspect it, don't bless it.
+                self._mark_failed(index, backend_errors[0])
+            else:
+                member.dead = False
+            member.served += sum(
+                1 for e in entries if isinstance(e, SelectionResponse)
+            )
+        return [(position, entry)
+                for (position, _), entry in zip(numbered, entries)]
+
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        self._require_open()
+        start = time.perf_counter()
+        # One serialization + hash per request, reused by the failover pass.
+        points = [stable_hash64(request_key(request)) for request in requests]
+        groups: dict[int, list] = {}
+        for position, request in enumerate(requests):
+            indices = self._attempt_order(
+                self._replica_indices(request, points[position])
+            )
+            groups.setdefault(indices[0], []).append((position, request))
+        entries: list = [None] * len(requests)
+        if len(groups) <= 1:
+            drained = [self._drain_group(index, numbered)
+                       for index, numbered in groups.items()]
+        else:
+            # One thread per member group: members are separate processes
+            # (or hosts), so their shares drain in parallel — this is the
+            # aggregate-QPS story of the cluster benchmark.
+            with ThreadPoolExecutor(max_workers=len(groups)) as executor:
+                drained = list(executor.map(
+                    lambda item: self._drain_group(*item), groups.items()
+                ))
+        for group in drained:
+            for position, entry in group:
+                entries[position] = entry
+        # Failover pass, sequential by construction: the drain threads are
+        # all joined, so the replica chains are free to serve retries.
+        for position, entry in enumerate(entries):
+            if isinstance(entry, BackendError):
+                try:
+                    entries[position] = self._serve_with_failover(
+                        requests[position], prior_failure=True,
+                        skip_dead=True, point=points[position],
+                    )
+                except Exception as fail:
+                    entries[position] = fail
+        self._account(entries, time.perf_counter() - start)
+        return self._finish(entries, raise_on_error)
+
+    # -- introspection / lifecycle ------------------------------------------
+    def stats(self) -> dict:
+        payload = super().stats()
+        payload.update({
+            "replication": self.replication,
+            "dataset_replication": dict(self.dataset_replication),
+            "vnodes": self.vnodes,
+            "failovers": self._failovers,
+            "members": [
+                {
+                    "name": member.name,
+                    "routed": member.routed,
+                    "served": member.served,
+                    "errors": member.errors,
+                    "dead": member.dead,
+                    "last_error": member.last_error,
+                }
+                for member in self._members
+            ],
+        })
+        return payload
+
+    def close(self) -> None:
+        if self._own_members:
+            for member in self._members:
+                try:
+                    member.backend.close()
+                except Exception:
+                    pass
+        super().close()
+
+    def __repr__(self) -> str:
+        return (f"ClusterRouter(members={self.member_names}, "
+                f"replication={self.replication})")

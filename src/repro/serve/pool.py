@@ -20,43 +20,43 @@ and accounts aggregate throughput:
   ``benchmarks/bench_pool_qps.py``); on many cores both effects compound.
 
 Workers are daemonic and are torn down by :meth:`close` (or the context
-manager); request errors are returned per-request, not lost in a worker.
+manager); request errors are returned per-request, not lost in a worker.  A
+worker that *dies* (hard kill, crash outside the request handler) is
+detected promptly — the drain and warm-start loops poll worker liveness —
+and raises a typed :class:`~repro.serve.errors.PoolWorkerDied` carrying the
+worker's traceback when the worker could report one.
 """
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import queue as queue_module
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.api.cache import stable_hash64
 from repro.api.engine import Engine
 from repro.api.request import SelectionRequest, SelectionResponse
+from repro.serve.errors import PoolError, PoolRequestError, PoolWorkerDied
 
 _READY = "ready"
 _OK = "ok"
 _ERROR = "error"
+_DIED = "died"
 
 ROUTING_MODES = ("shared", "hash")
 
-
-class PoolError(RuntimeError):
-    """The pool is unusable (failed start, closed, or a worker died)."""
-
-
-class PoolRequestError(RuntimeError):
-    """A request failed inside a worker; carries the worker-side error text."""
-
-    def __init__(self, index: int, worker: int, message: str):
-        super().__init__(
-            f"request #{index} failed in pool worker {worker}: {message}"
-        )
-        self.index = index
-        self.worker = worker
-        self.worker_message = message
+__all__ = [
+    "EnginePool",
+    "PoolError",
+    "PoolRequestError",
+    "PoolStats",
+    "PoolWorkerDied",
+    "ROUTING_MODES",
+]
 
 
 @dataclass
@@ -76,6 +76,23 @@ class PoolStats:
     def qps(self) -> float:
         """Aggregate requests per second over all serving calls so far."""
         return self.served / self.wall_seconds if self.wall_seconds else 0.0
+
+    def to_json(self) -> dict:
+        """JSON-serializable snapshot, shaped like every serving-stats
+        object (``type`` + ``served`` + ``seconds``/``qps``) so pool and
+        cluster benchmarks report comparable fields."""
+        return {
+            "type": "pool",
+            "workers": self.workers,
+            "served": self.served,
+            "errors": self.errors,
+            "seconds": self.wall_seconds,
+            "qps": self.qps,
+            "startup_seconds": self.startup_seconds,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "per_worker": {str(w): c for w, c in sorted(self.per_worker.items())},
+        }
 
 
 def _pool_worker(
@@ -101,24 +118,36 @@ def _pool_worker(
         result_queue.put((_ERROR, worker_id, -1,
                           f"{type(error).__name__}: {error}"))
         return
-    while True:
-        item = request_queue.get()
-        if item is None:
-            break
-        index, payload = item
+    try:
+        while True:
+            item = request_queue.get()
+            if item is None:
+                break
+            index, payload = item
+            try:
+                request = SelectionRequest.from_json(payload)
+                response = engine.select(request)
+                result_queue.put((_OK, worker_id, index, response.to_json()))
+            except Exception as error:
+                result_queue.put((_ERROR, worker_id, index,
+                                  f"{type(error).__name__}: {error}"))
+    except BaseException:
+        # A crash outside the per-request handler (corrupt queue item,
+        # KeyboardInterrupt, ...) kills the worker loop: report the
+        # traceback before exiting so the drain loop can raise a typed
+        # PoolWorkerDied instead of timing out.
         try:
-            request = SelectionRequest.from_json(payload)
-            response = engine.select(request)
-            result_queue.put((_OK, worker_id, index, response.to_json()))
-        except Exception as error:
-            result_queue.put((_ERROR, worker_id, index,
-                              f"{type(error).__name__}: {error}"))
+            result_queue.put((_DIED, worker_id, -1,
+                              traceback_module.format_exc()))
+        except Exception:
+            pass
+        raise
 
 
 def _route_hash(payload: str) -> int:
-    """Stable content hash of a wire-form request (never ``hash()``: that is
-    salted per process and would break affinity across runs)."""
-    return int.from_bytes(hashlib.sha1(payload.encode()).digest()[:8], "big")
+    """Stable content hash of a wire-form request (shared with the cluster
+    ring, so worker affinity and member affinity agree)."""
+    return stable_hash64(payload)
 
 
 class EnginePool:
@@ -201,14 +230,27 @@ class EnginePool:
             self._processes.append(process)
         stats = PoolStats(workers=self.workers,
                           per_worker={i: 0 for i in range(self.workers)})
-        for _ in range(self.workers):
-            message = self._result_queue.get()
-            if message[0] != _READY:
-                self.close()
-                raise PoolError(
-                    f"pool worker {message[1]} failed to warm-start from "
-                    f"{self.artifact}: {message[3]}"
-                )
+        ready = 0
+        while ready < self.workers:
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                died = self._first_dead()
+                if died is not None:
+                    worker_id, process = died
+                    self.close()
+                    raise PoolWorkerDied(worker_id, exitcode=process.exitcode)
+                continue
+            if message[0] == _READY:
+                ready += 1
+                continue
+            self.close()
+            if message[0] == _DIED:
+                raise PoolWorkerDied(message[1], traceback=message[3])
+            raise PoolError(
+                f"pool worker {message[1]} failed to warm-start from "
+                f"{self.artifact}: {message[3]}"
+            )
         stats.startup_seconds = time.perf_counter() - start
         self._stats = stats
         self._started = True
@@ -244,14 +286,21 @@ class EnginePool:
             self._result_queue.close()
 
     # -- serving ------------------------------------------------------------
+    def _first_dead(self) -> Optional[tuple]:
+        """``(worker_id, process)`` of the first dead worker, else ``None``."""
+        for worker_id, process in enumerate(self._processes):
+            if not process.is_alive():
+                return worker_id, process
+        return None
+
     def _require_running(self) -> None:
         if not self._started or self._closed:
             raise PoolError("pool is not running; call start() (or use "
                             "`with EnginePool(...) as pool:`)")
-        dead = [p for p in self._processes if not p.is_alive()]
-        if dead:
-            raise PoolError(f"{len(dead)} pool worker(s) died; the pool "
-                            "must be recreated")
+        died = self._first_dead()
+        if died is not None:
+            worker_id, process = died
+            raise PoolWorkerDied(worker_id, exitcode=process.exitcode)
 
     def select_many(
         self,
@@ -284,11 +333,18 @@ class EnginePool:
         while collected < len(payloads):
             try:
                 kind, worker_id, index, payload = self._result_queue.get(
-                    timeout=1.0
+                    timeout=0.25
                 )
             except queue_module.Empty:
                 self._require_running()  # a dead worker raises instead of hanging
                 continue
+            if kind == _DIED:
+                # The worker reported its own crash before exiting: raise
+                # promptly, carrying the worker-side traceback.
+                process = self._processes[worker_id]
+                process.join(timeout=1.0)
+                raise PoolWorkerDied(worker_id, exitcode=process.exitcode,
+                                     traceback=payload)
             collected += 1
             self._stats.per_worker[worker_id] += 1
             if kind == _OK:

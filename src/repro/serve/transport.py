@@ -1,0 +1,576 @@
+"""Length-prefixed JSON socket transport for the backend protocol.
+
+This is the host-boundary leg of the serving stack: a
+:class:`SocketServer` exposes any :class:`~repro.serve.backend
+.ExecutionBackend` on a TCP address, and a :class:`RemoteBackend` is the
+client-side backend that speaks to it — so a remote engine, pool, or even a
+whole cluster plugs into every topology exactly like a local one.
+
+Framing
+-------
+Each message is one *frame*: a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON.  Oversized frames (>256 MiB) and
+mid-frame EOFs raise :class:`~repro.serve.errors.TransportError`; a clean
+EOF between frames ends the conversation.  The JSON payloads reuse
+:mod:`repro.api.wire` verbatim — requests and responses cross the socket
+in exactly the wire form the :class:`~repro.serve.EnginePool` workers
+already exchange, so socket-served responses are bit-identical to
+in-process ones.
+
+Operations (client → server)
+----------------------------
+=================  =====================================================
+``ping``           liveness probe → ``{"ok": true}``
+``stats``          the hosted backend's stats → ``{"ok": true, "stats"}``
+``select``         one request wire dict → ``{"ok": true, "response"}``
+``select_many``    request wire dicts → ``{"ok": true, "results": [...]}``
+=================  =====================================================
+
+Failures come back as ``{"ok": false, "kind": ..., "error": ...}`` where
+``kind`` is ``"request"`` (fails on every replica — surfaced as
+:class:`~repro.serve.errors.RemoteRequestError`), ``"backend"`` (this
+server is unusable — :class:`~repro.serve.errors.RemoteServerError`, a
+failover trigger), or ``"protocol"`` (malformed frame).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import signal
+import socket
+import socketserver
+import struct
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.api.request import SelectionRequest, SelectionResponse
+from repro.serve.backend import BaseBackend
+from repro.serve.errors import (
+    BackendError,
+    RemoteRequestError,
+    RemoteServerError,
+    TransportError,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+
+#: Hard ceiling on one frame; a corrupt length prefix fails loudly instead
+#: of attempting a multi-gigabyte read.
+MAX_FRAME_BYTES = 1 << 28
+
+_HEADER = struct.Struct(">I")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes.  Returns ``None`` on a clean EOF before the
+    first byte of a frame (``at_boundary=True``); raises
+    :class:`TransportError` on EOF anywhere else."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if at_boundary and remaining == n:
+                return None
+            raise TransportError(
+                f"peer closed the connection mid-frame "
+                f"({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one length-prefixed JSON frame."""
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "transport limit"
+        )
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Receive one frame (``None`` on a clean EOF between frames)."""
+    header = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte transport limit"
+        )
+    data = _recv_exact(sock, length, at_boundary=False)
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"undecodable frame: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        while True:
+            try:
+                message = recv_frame(self.request)
+            except TransportError:
+                return
+            if message is None:
+                return
+            reply = self.server.owner.handle_message(message)
+            try:
+                send_frame(self.request, reply)
+            except (TransportError, OSError):
+                return
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "SocketServer"
+
+
+class SocketServer:
+    """Serve an :class:`ExecutionBackend` over TCP.
+
+    >>> server = SocketServer(backend, port=0).start()   # doctest: +SKIP
+    >>> RemoteBackend(server.address).select(request)    # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port; read the bound address from
+    :attr:`address`.  Connections are handled in threads, but backend
+    calls are serialized under one lock — a hosted :class:`EnginePool`'s
+    drain loop is single-caller, and cross-member parallelism in a cluster
+    comes from running many server *processes*, not many threads in one.
+
+    Parameters
+    ----------
+    backend:
+        Any execution backend (engine, pool, even a whole cluster).
+    host, port:
+        Bind address (``port=0``: ephemeral).
+    own_backend:
+        Close the backend when the server closes.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        own_backend: bool = False,
+    ):
+        self.backend = backend
+        self._own_backend = own_backend
+        self._lock = threading.Lock()
+        self._server = _ThreadingTCPServer((host, port), _ConnectionHandler)
+        self._server.owner = self
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`close` (or SIGINT)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "SocketServer":
+        """Serve in a background thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._own_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "SocketServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- protocol ------------------------------------------------------------
+    def handle_message(self, message) -> dict:
+        try:
+            return self._dispatch(message)
+        except Exception as error:  # never kill the connection on bad input
+            return {"ok": False, "kind": "protocol",
+                    "error": f"{type(error).__name__}: {error}"}
+
+    def _dispatch(self, message) -> dict:
+        if not isinstance(message, dict):
+            return {"ok": False, "kind": "protocol",
+                    "error": f"expected a JSON object, got "
+                             f"{type(message).__name__}"}
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            with self._lock:
+                return {"ok": True, "stats": self.backend.stats()}
+        if op == "select":
+            try:
+                # An undecodable request is a *request* failure: it would
+                # fail identically on every replica, so it must not be
+                # reported in a way the client maps to a failover trigger.
+                request = SelectionRequest.from_wire(message["request"])
+                with self._lock:
+                    response = self.backend.select(request)
+            except BackendError as error:
+                return {"ok": False, "kind": "backend",
+                        "error": f"{type(error).__name__}: {error}"}
+            except Exception as error:
+                return {"ok": False, "kind": "request",
+                        "error": f"{type(error).__name__}: {error}"}
+            return {"ok": True, "response": response.to_wire()}
+        if op == "select_many":
+            requests = []
+            decode_errors: dict[int, dict] = {}
+            for position, wire in enumerate(message["requests"]):
+                try:
+                    requests.append(SelectionRequest.from_wire(wire))
+                except Exception as error:  # that entry fails, not the batch
+                    decode_errors[position] = {
+                        "ok": False, "kind": "request",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                    requests.append(None)
+            try:
+                with self._lock:
+                    entries = self.backend.select_many(
+                        [r for r in requests if r is not None],
+                        raise_on_error=False,
+                    )
+            except BackendError as error:
+                return {"ok": False, "kind": "backend",
+                        "error": f"{type(error).__name__}: {error}"}
+            served = iter(entries)
+            results = []
+            for position in range(len(requests)):
+                if position in decode_errors:
+                    results.append(decode_errors[position])
+                    continue
+                entry = next(served)
+                if isinstance(entry, SelectionResponse):
+                    results.append({"ok": True, "response": entry.to_wire()})
+                else:
+                    # Preserve the taxonomy across the socket: a hosted
+                    # nested backend (e.g. a cluster) reports member-level
+                    # failures as BackendError entries, and the client
+                    # must still see them as failover triggers.
+                    kind = ("backend" if isinstance(entry, BackendError)
+                            else "request")
+                    results.append({
+                        "ok": False, "kind": kind,
+                        "error": f"{type(entry).__name__}: {entry}",
+                    })
+            return {"ok": True, "results": results}
+        return {"ok": False, "kind": "protocol",
+                "error": f"unknown op {op!r}"}
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+def parse_address(address: "str | tuple") -> tuple:
+    """``"host:port"`` (or an ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"expected an address like 'host:port', got {address!r}"
+            )
+        return host or DEFAULT_HOST, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+class RemoteBackend(BaseBackend):
+    """An execution backend on the far side of a socket.
+
+    Connects lazily, keeps one connection per backend, and reconnects once
+    on a stale-connection failure (selection is pure and LRU-cached, so a
+    retried request is idempotent).  Transport failures raise
+    :class:`TransportError` — a :class:`BackendError`, so a
+    :class:`~repro.serve.cluster.ClusterRouter` fails over to a replica.
+
+    ``call_timeout`` is deliberately finite by default: a member that
+    *hangs* (half-open socket, stopped process) must eventually surface as
+    a :class:`TransportError` or failover never engages.  Raise it for
+    giant cold batches, or pass ``None`` to block forever.
+    """
+
+    kind = "remote"
+
+    #: Default per-call socket timeout (seconds).  Generous enough for a
+    #: cold batch of selections, finite so hung members fail over.
+    DEFAULT_CALL_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        address: "str | tuple",
+        connect_timeout: float = 5.0,
+        call_timeout: Optional[float] = DEFAULT_CALL_TIMEOUT,
+    ):
+        super().__init__()
+        self.host, self.port = parse_address(address)
+        self.connect_timeout = connect_timeout
+        self.call_timeout = call_timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection ----------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _call(self, message: dict, *, reconnect: bool = True) -> dict:
+        self._require_open()
+        fresh = self._sock is None
+        try:
+            if self._sock is None:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                self._sock.settimeout(self.call_timeout)
+            send_frame(self._sock, message)
+            reply = recv_frame(self._sock)
+            if reply is None:
+                raise TransportError("server closed the connection")
+            return reply
+        except (OSError, TransportError) as error:
+            self._drop_connection()
+            if reconnect and not fresh:
+                # The kept connection may simply have gone stale (server
+                # restarted between calls): retry once on a fresh one.
+                return self._call(message, reconnect=False)
+            if isinstance(error, TransportError):
+                raise
+            raise TransportError(
+                f"socket to {self.address} failed: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
+    @staticmethod
+    def _reply_error(reply: dict) -> Exception:
+        kind = reply.get("kind", "backend")
+        error = reply.get("error", "unknown server error")
+        if kind == "request":
+            return RemoteRequestError(error)
+        if kind == "backend":
+            return RemoteServerError(error)
+        return TransportError(f"server protocol error: {error}")
+
+    def ping(self) -> bool:
+        """Liveness probe (raises :class:`TransportError` when unreachable)."""
+        return bool(self._call({"op": "ping"}).get("ok"))
+
+    # -- protocol ------------------------------------------------------------
+    def select_many(
+        self,
+        requests: Sequence[SelectionRequest],
+        raise_on_error: bool = True,
+    ) -> list:
+        start = time.perf_counter()
+        try:
+            reply = self._call({
+                "op": "select_many",
+                "requests": [request.to_wire() for request in requests],
+            })
+            if not reply.get("ok"):
+                raise self._reply_error(reply)
+        except BackendError as error:
+            # Every request of the batch went unserved: the stats envelope
+            # counts them all, so errors/qps stay honest under failure.
+            self._account([error] * len(requests),
+                          time.perf_counter() - start)
+            raise
+        entries: list = []
+        for result in reply["results"]:
+            if result.get("ok"):
+                entries.append(SelectionResponse.from_wire(result["response"]))
+            else:
+                entries.append(self._reply_error(result))
+        self._account(entries, time.perf_counter() - start)
+        return self._finish(entries, raise_on_error)
+
+    def select(self, request: SelectionRequest) -> SelectionResponse:
+        start = time.perf_counter()
+        try:
+            reply = self._call({"op": "select", "request": request.to_wire()})
+            if not reply.get("ok"):
+                raise self._reply_error(reply)
+        except Exception as error:
+            self._account([error], time.perf_counter() - start)
+            raise
+        response = SelectionResponse.from_wire(reply["response"])
+        self._account([response], time.perf_counter() - start)
+        return response
+
+    def stats(self) -> dict:
+        payload = super().stats()
+        payload["address"] = self.address
+        try:
+            payload["server"] = self._call({"op": "stats"})["stats"]
+        except (BackendError, KeyError):
+            payload["server"] = None
+        return payload
+
+    def close(self) -> None:
+        self._drop_connection()
+        super().close()
+
+
+# ---------------------------------------------------------------------------
+# Subprocess servers (benchmarks, tests, CLI-free embedding)
+# ---------------------------------------------------------------------------
+
+def _server_process_main(
+    conn, artifact, workers, cache_size, routing, algorithm, host, port,
+) -> None:
+    from repro.serve.backend import artifact_backend
+
+    signal.signal(signal.SIGTERM, lambda *args: sys.exit(0))
+    try:
+        backend = artifact_backend(
+            artifact,
+            workers=workers,
+            cache_size=cache_size,
+            routing=routing,
+            algorithm=algorithm,
+        )
+        server = SocketServer(backend, host=host, port=port, own_backend=True)
+    except Exception as error:
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        return
+    conn.send(("ok", server.address))
+    conn.close()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+
+
+class SpawnedServer:
+    """Handle on a socket server running in a child process."""
+
+    def __init__(self, process, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def connect(self, **options) -> RemoteBackend:
+        """A fresh :class:`RemoteBackend` speaking to this server."""
+        return RemoteBackend((self.host, self.port), **options)
+
+    def kill(self) -> None:
+        """Hard-stop the server (simulates a member host dying)."""
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+    def close(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+
+    def __enter__(self) -> "SpawnedServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def spawn_artifact_server(
+    artifact: "str | Path",
+    workers: int = 1,
+    cache_size: int = 256,
+    routing: str = "shared",
+    algorithm: Optional[str] = None,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    startup_timeout: float = 120.0,
+) -> SpawnedServer:
+    """Start a socket server over ``artifact`` in a child process.
+
+    The child warm-starts its backend (``workers=1``: one engine;
+    ``workers>1``: an :class:`EnginePool`) via ``Engine.load`` — the
+    paper's phase split is what makes spawning a member this cheap — binds
+    ``host:port`` (``port=0``: ephemeral), and reports the bound address
+    back before serving.  This is how the cluster benchmark and the
+    failover tests stand up members on one machine; production members are
+    the same server started on real hosts (``python -m repro serve
+    --transport socket``).
+    """
+    context = multiprocessing.get_context()
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(
+        target=_server_process_main,
+        args=(child_conn, str(artifact), workers, cache_size, routing,
+              algorithm, host, port),
+        # A pooled member must be able to fork its own workers, which
+        # daemonic processes may not.
+        daemon=(workers == 1),
+    )
+    process.start()
+    child_conn.close()
+    if not parent_conn.poll(startup_timeout):
+        process.terminate()
+        process.join(timeout=5.0)
+        raise TransportError(
+            f"server over {artifact} did not report an address within "
+            f"{startup_timeout:.0f}s"
+        )
+    status, detail = parent_conn.recv()
+    parent_conn.close()
+    if status != "ok":
+        process.join(timeout=5.0)
+        raise TransportError(f"server over {artifact} failed to start: {detail}")
+    bound_host, bound_port = detail
+    return SpawnedServer(process, bound_host, bound_port)

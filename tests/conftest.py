@@ -70,6 +70,15 @@ def fitted_engine(fitted_subtab):
 
 
 @pytest.fixture(scope="session")
+def subtab_artifact(tmp_path_factory, fitted_engine):
+    """The fitted subtab engine saved once, for every serving-layer test
+    that warm-starts workers/members from an artifact."""
+    path = tmp_path_factory.mktemp("artifact") / "planted-subtab"
+    fitted_engine.save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
 def alt_frame() -> DataFrame:
     """A second, genuinely different dataset (other rows, other seed)."""
     return build_planted_frame(n=400, seed=42)

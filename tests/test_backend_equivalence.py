@@ -1,0 +1,140 @@
+"""Backend equivalence: one request stream, four topologies, one answer.
+
+The re-layering's central promise: routing adds no transformation.  The
+same request stream replayed through an ``InProcessBackend``, a
+``PoolBackend`` (worker processes), a ``RemoteBackend`` (socket to a
+subprocess server), and a 2-member ``ClusterRouter`` produces
+**bit-identical** responses (wire form minus timing/cache metadata, which
+legitimately differ per path).  Holds for any selector whose ``select`` is
+a pure function of the request — subtab is; order-sensitive baselines
+(e.g. nc's shared RNG) are excluded by construction, as in the pool tests.
+
+Also here: the replica-failover half of the satellite — kill one cluster
+member mid-stream and the stream still completes, bit-identically.
+"""
+
+import pytest
+
+from repro.api import SelectionRequest, SelectionResponse
+from repro.queries.ops import SPQuery
+from repro.queries.predicates import Eq, InRange
+from repro.serve import (
+    ClusterRouter,
+    InProcessBackend,
+    PoolBackend,
+    RemoteBackend,
+    SocketServer,
+    spawn_artifact_server,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """A request stream with queries, targets, fairness-free variety, and
+    repeats (the repeats exercise each path's caching layer)."""
+    base = [
+        SelectionRequest(k=4, l=3),
+        SelectionRequest(k=3, l=3, targets=("OUTCOME",)),
+        SelectionRequest(k=3, l=2, query=SPQuery((Eq("KIND", "beta"),))),
+        SelectionRequest(
+            k=3, l=2,
+            query=SPQuery((InRange("SIZE", 0.0, 5000.0),),
+                          projection=("SIZE", "SPEED", "KIND")),
+        ),
+        SelectionRequest(k=5, l=4),
+    ]
+    return base + base[:3]  # replay a prefix: cache hits on every path
+
+
+def _contents(responses) -> list:
+    payloads = []
+    for response in responses:
+        assert isinstance(response, SelectionResponse)
+        payload = response.to_wire()
+        for volatile in ("timings", "select_seconds", "cache_hit"):
+            payload.pop(volatile)
+        payloads.append(payload)
+    return payloads
+
+
+@pytest.fixture(scope="module")
+def expected(subtab_artifact, stream):
+    backend = InProcessBackend.from_artifact(subtab_artifact)
+    return _contents(backend.select_many(stream))
+
+
+class TestEquivalence:
+    def test_pool_backend_matches(self, subtab_artifact, stream, expected):
+        with PoolBackend(subtab_artifact, workers=2, routing="hash") as pool:
+            assert _contents(pool.select_many(stream)) == expected
+
+    def test_remote_backend_matches(self, subtab_artifact, stream, expected):
+        with spawn_artifact_server(subtab_artifact) as server:
+            remote = server.connect()
+            assert _contents(remote.select_many(stream)) == expected
+            remote.close()
+
+    def test_two_member_cluster_matches(self, subtab_artifact, stream,
+                                        expected):
+        members = [
+            ("a", InProcessBackend.from_artifact(subtab_artifact)),
+            ("b", InProcessBackend.from_artifact(subtab_artifact)),
+        ]
+        with ClusterRouter(members, replication=2) as cluster:
+            assert _contents(cluster.select_many(stream)) == expected
+            spread = {m["name"]: m["served"] for m in cluster.stats()["members"]}
+        assert all(count > 0 for count in spread.values()), spread
+
+    def test_nested_cluster_of_socket_and_pool_matches(
+        self, subtab_artifact, stream, expected
+    ):
+        # The topology-nesting claim, end to end: a cluster whose members
+        # are a remote socket server and a local process pool.
+        with spawn_artifact_server(subtab_artifact) as server:
+            members = [
+                ("socket", server.connect()),
+                ("pool", PoolBackend(subtab_artifact, workers=2)),
+            ]
+            with ClusterRouter(members, replication=2) as cluster:
+                assert _contents(cluster.select_many(stream)) == expected
+
+
+class TestReplicaFailover:
+    def test_stream_completes_after_killing_a_member(
+        self, subtab_artifact, stream, expected
+    ):
+        live = spawn_artifact_server(subtab_artifact)
+        doomed = spawn_artifact_server(subtab_artifact)
+        try:
+            cluster = ClusterRouter(
+                [("live", live.connect(connect_timeout=2.0)),
+                 ("doomed", doomed.connect(connect_timeout=2.0))],
+                replication=2,
+            )
+            first = cluster.select_many(stream)
+            doomed.kill()  # a member host dies mid-session
+            second = cluster.select_many(stream)
+            assert _contents(first) == expected
+            assert _contents(second) == expected
+            stats = cluster.stats()
+            dead = {m["name"]: m["dead"] for m in stats["members"]}
+            if any(dead.values()):  # the doomed member actually took traffic
+                assert dead == {"live": False, "doomed": True}
+                assert stats["failovers"] >= 1
+            cluster.close()
+        finally:
+            live.close()
+            doomed.close()
+
+    def test_single_request_failover_is_bit_identical(
+        self, subtab_artifact, expected, stream
+    ):
+        live = InProcessBackend.from_artifact(subtab_artifact)
+        with spawn_artifact_server(subtab_artifact) as server:
+            doomed = server.connect(connect_timeout=2.0)
+            cluster = ClusterRouter([("live", live), ("doomed", doomed)],
+                                    replication=2)
+            server.kill()
+            responses = [cluster.select(request) for request in stream]
+            assert _contents(responses) == expected
+            cluster.close()

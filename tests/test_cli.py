@@ -203,3 +203,108 @@ class TestFitServeRoundTrip:
         assert served and served == [
             line for line in pooled.splitlines() if "Served" in line
         ]
+
+
+class TestServeTransports:
+    """The one-code-path claim: every topology flag combination builds an
+    ExecutionBackend and drives it through the same loop."""
+
+    def test_connect_rejects_server_mode(self, subtab_artifact):
+        with pytest.raises(SystemExit, match="client mode"):
+            main(["serve", "--artifact", str(subtab_artifact),
+                  "--connect", "127.0.0.1:1", "--transport", "socket"])
+
+    def test_connect_single_remote_server(self, subtab_artifact, capsys):
+        from repro.serve import spawn_artifact_server
+
+        with spawn_artifact_server(subtab_artifact) as server:
+            code = main([
+                "serve", "--artifact", str(subtab_artifact), "--sessions", "2",
+                "--connect", server.address,
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"Backend: remote server {server.address}" in out
+        assert "Served" in out
+        assert "aggregate QPS:" in out
+
+    def test_connect_cluster_of_two(self, subtab_artifact, capsys):
+        from repro.serve import spawn_artifact_server
+
+        with spawn_artifact_server(subtab_artifact) as one:
+            with spawn_artifact_server(subtab_artifact) as two:
+                code = main([
+                    "serve", "--artifact", str(subtab_artifact),
+                    "--sessions", "2",
+                    "--connect", f"{one.address},{two.address}",
+                    "--replicas", "2",
+                ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Backend: cluster of 2 members" in out
+        assert "failovers: 0" in out
+        assert "per-member:" in out
+
+    def test_malformed_connect_address_is_a_clean_error(self, subtab_artifact):
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["serve", "--artifact", str(subtab_artifact),
+                  "--connect", "hostA"])
+
+    def test_duplicate_members_and_bad_replicas_are_clean_errors(
+        self, subtab_artifact
+    ):
+        with pytest.raises(SystemExit, match="unique"):
+            main(["serve", "--artifact", str(subtab_artifact),
+                  "--connect", "127.0.0.1:1,127.0.0.1:1"])
+        with pytest.raises(SystemExit, match="replication"):
+            main(["serve", "--artifact", str(subtab_artifact),
+                  "--connect", "127.0.0.1:1,127.0.0.1:2", "--replicas", "0"])
+
+    def test_dead_remote_server_exits_nonzero(self, subtab_artifact, capsys):
+        code = main([
+            "serve", "--artifact", str(subtab_artifact), "--sessions", "1",
+            "--connect", "127.0.0.1:9",
+        ])
+        assert code == 1
+        assert "backend failed" in capsys.readouterr().err
+
+    def test_dead_cluster_exits_nonzero(self, subtab_artifact, capsys):
+        code = main([
+            "serve", "--artifact", str(subtab_artifact), "--sessions", "1",
+            "--connect", "127.0.0.1:9,127.0.0.1:10", "--replicas", "2",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "failed at the backend level" in err
+
+    def test_socket_server_mode_end_to_end(self, subtab_artifact):
+        import os
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--artifact", str(subtab_artifact),
+             "--transport", "socket", "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"on (\d+\.\d+\.\d+\.\d+:\d+)", banner)
+            assert match, banner
+            from repro.api import SelectionRequest
+            from repro.serve import RemoteBackend
+
+            remote = RemoteBackend(match.group(1))
+            response = remote.select(SelectionRequest(k=3, l=3))
+            assert response.shape == (3, 3)
+            remote.close()
+        finally:
+            server.terminate()
+            server.wait(timeout=10)

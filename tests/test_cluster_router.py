@@ -1,0 +1,249 @@
+"""Tests for the ClusterRouter (consistent-hash ring, replication, failover).
+
+(Not to be confused with ``test_cluster.py``, which tests the k-means
+clustering used by the selection algorithms.)
+"""
+
+import pytest
+
+from repro.api import SelectionRequest, SelectionResponse
+from repro.serve import (
+    BackendError,
+    BaseBackend,
+    ClusterError,
+    ClusterRouter,
+    InProcessBackend,
+)
+from repro.serve.cluster import request_key
+
+
+class FlakyBackend(BaseBackend):
+    """Delegates to an inner backend until ``die()`` is called; afterwards
+    every call raises BackendError, like a host that went down."""
+
+    kind = "flaky"
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+        self.alive = True
+        self.calls = 0
+
+    def die(self):
+        self.alive = False
+
+    def select_many(self, requests, raise_on_error=True):
+        self.calls += 1
+        if not self.alive:
+            raise BackendError("host is down")
+        return self.inner.select_many(requests, raise_on_error=raise_on_error)
+
+
+@pytest.fixture()
+def members(fitted_engine):
+    return [("a", InProcessBackend(fitted_engine)),
+            ("b", InProcessBackend(fitted_engine)),
+            ("c", InProcessBackend(fitted_engine))]
+
+
+@pytest.fixture()
+def requests():
+    return [SelectionRequest(k=k, l=3) for k in range(2, 10)]
+
+
+class TestRing:
+    def test_routing_is_deterministic_and_name_stable(self, members, requests):
+        router = ClusterRouter(members, replication=2)
+        # Same request -> same replica set, and a freshly built ring with
+        # the same member names places everything identically (this is
+        # what keeps member LRUs warm across router restarts).
+        rebuilt = ClusterRouter(
+            [(name, backend) for name, backend in members], replication=2
+        )
+        for request in requests:
+            replicas = router.replicas_for(request)
+            assert len(replicas) == 2
+            assert len(set(replicas)) == 2
+            assert replicas == router.replicas_for(request)
+            assert replicas == rebuilt.replicas_for(request)
+
+    def test_key_includes_dataset(self):
+        plain = SelectionRequest(k=3, l=3)
+        named = SelectionRequest(k=3, l=3, dataset="planted")
+        assert request_key(plain) != request_key(named)
+
+    def test_ring_spreads_requests(self, members):
+        router = ClusterRouter(members, replication=1)
+        spread = {
+            router.replicas_for(SelectionRequest(k=2 + (i % 20), l=3,
+                                                 targets=("OUTCOME",)
+                                                 if i % 2 else ()))[0]
+            for i in range(40)
+        }
+        assert len(spread) > 1  # not everything on one member
+
+    def test_per_dataset_replication_override(self, members):
+        router = ClusterRouter(members, replication=1,
+                               dataset_replication={"hot": 3})
+        cold = SelectionRequest(k=3, l=3, dataset="cold")
+        hot = SelectionRequest(k=3, l=3, dataset="hot")
+        assert len(router.replicas_for(cold)) == 1
+        assert len(router.replicas_for(hot)) == 3
+
+    def test_replication_clamped_to_member_count(self, fitted_engine):
+        router = ClusterRouter([("solo", InProcessBackend(fitted_engine))],
+                               replication=5)
+        assert router.replicas_for(SelectionRequest(k=3, l=3)) == ["solo"]
+
+    def test_validation(self, members):
+        with pytest.raises(ValueError, match="at least one member"):
+            ClusterRouter([])
+        with pytest.raises(ValueError, match="replication"):
+            ClusterRouter(members, replication=0)
+        with pytest.raises(ValueError, match="unique"):
+            ClusterRouter([members[0], members[0]])
+
+
+class TestServing:
+    def test_matches_single_member_bit_for_bit(self, fitted_engine, members,
+                                               requests):
+        router = ClusterRouter(members, replication=2)
+        responses = router.select_many(requests)
+        for request, response in zip(requests, responses):
+            assert isinstance(response, SelectionResponse)
+            expected = fitted_engine.select(request)
+            assert response.subtable.row_indices == expected.subtable.row_indices
+            assert response.subtable.columns == expected.subtable.columns
+
+    def test_request_errors_do_not_fail_over(self, fitted_engine):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        shadow = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", shadow)], replication=2)
+        bad = SelectionRequest(k=3, l=3, targets=("NOPE",))
+        with pytest.raises(ValueError, match="NOPE"):
+            router.select(bad)
+        # exactly one member was asked; a request error is final
+        assert flaky.calls + shadow.calls == 1
+        assert router.stats()["failovers"] == 0
+
+    def test_stats_envelope(self, members, requests):
+        router = ClusterRouter(members, replication=2)
+        router.select_many(requests)
+        stats = router.stats()
+        assert stats["backend"] == "cluster"
+        assert stats["served"] == len(requests)
+        assert stats["failovers"] == 0
+        assert sum(m["served"] for m in stats["members"]) == len(requests)
+        assert all(m["dead"] is False for m in stats["members"])
+
+    def test_close_closes_owned_members(self, fitted_engine):
+        inner = InProcessBackend(fitted_engine)
+        ClusterRouter([("a", inner)]).close()
+        with pytest.raises(BackendError, match="closed"):
+            inner.select(SelectionRequest(k=3, l=3))
+
+
+class TestFailover:
+    def test_fails_over_to_replica_and_marks_suspect(self, fitted_engine,
+                                                     requests):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        backup = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", backup)], replication=2)
+        flaky.die()
+        responses = router.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+        stats = router.stats()
+        dead = {m["name"]: m["dead"] for m in stats["members"]}
+        assert dead["a"] is True
+        assert dead["b"] is False
+        assert stats["failovers"] >= 1
+        # follow-up traffic routes around the suspect without retrying it
+        calls_before = flaky.calls
+        router.select_many(requests)
+        assert flaky.calls == calls_before
+
+    def test_batch_failover_pays_a_dead_member_once(self, fitted_engine,
+                                                    requests):
+        # Once the drain marks a member dead, the per-request failover
+        # pass must not re-dial it for every entry in the batch.
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        backup = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", backup)], replication=2)
+        flaky.die()
+        responses = router.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+        assert flaky.calls <= 1  # one drain attempt, zero per-request retries
+
+    def test_fully_dead_batch_fails_fast_with_cluster_errors(
+        self, fitted_engine, requests
+    ):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky)], replication=1)
+        flaky.die()
+        entries = router.select_many(requests, raise_on_error=False)
+        assert all(isinstance(e, ClusterError) for e in entries)
+        assert flaky.calls == 1  # the drain; no per-request re-dials
+
+    def test_revive_restores_routing(self, fitted_engine, requests):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        backup = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", backup)], replication=2)
+        flaky.die()
+        router.select_many(requests)
+        flaky.alive = True
+        router.revive()
+        router.select_many(requests)
+        assert flaky.calls > 1  # routed again after revive
+
+    def test_exhausted_replicas_raise_cluster_error(self, fitted_engine):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky)], replication=1)
+        flaky.die()
+        with pytest.raises(ClusterError, match="replica"):
+            router.select(SelectionRequest(k=3, l=3))
+        # With no replica to retry on there was no failover — only a
+        # member failure; the two metrics must not conflate.
+        stats = router.stats()
+        assert stats["failovers"] == 0
+        assert stats["members"][0]["errors"] >= 1
+
+    def test_failovers_count_reserved_requests_once(self, fitted_engine):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        backup = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", backup)], replication=2)
+        flaky.die()
+        requests = [SelectionRequest(k=k, l=3) for k in range(2, 8)]
+        responses = router.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+        stats = router.stats()
+        # one failover per re-served request at most, and only for the
+        # requests whose primary was the dead member
+        routed_to_dead = next(m["routed"] for m in stats["members"]
+                              if m["name"] == "a")
+        assert 1 <= stats["failovers"] <= len(requests)
+        assert stats["failovers"] <= max(routed_to_dead, 1)
+
+    def test_clusters_nest_and_outer_fails_over(self, fitted_engine,
+                                                requests):
+        # A cluster whose members are clusters: the inner one exhausts its
+        # replicas (ClusterError is a BackendError), so the outer router
+        # fails over to its healthy sibling.
+        dying = FlakyBackend(InProcessBackend(fitted_engine))
+        inner_bad = ClusterRouter([("x", dying)], replication=1)
+        inner_good = ClusterRouter(
+            [("y", InProcessBackend(fitted_engine))], replication=1
+        )
+        outer = ClusterRouter([("bad", inner_bad), ("good", inner_good)],
+                              replication=2)
+        dying.die()
+        responses = outer.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+        expected = [fitted_engine.select(r) for r in requests]
+        assert [r.subtable.row_indices for r in responses] == \
+               [e.subtable.row_indices for e in expected]
+        # A nested router failing via entries (not raising) must still be
+        # suspected — not blessed as live with zero errors.
+        dead = {m["name"]: m for m in outer.stats()["members"]}
+        assert dead["bad"]["dead"] is True
+        assert dead["bad"]["errors"] >= 1
+        assert dead["good"]["dead"] is False

@@ -5,12 +5,22 @@ through an ``EnginePool`` with 2 workers, and assert the pooled responses
 match the single-engine path bit-for-bit.
 """
 
+import os
+import signal
+import time
+
 import pytest
 
 from repro.api import Engine, SelectionRequest, SelectionResponse
 from repro.queries.ops import SPQuery
 from repro.queries.predicates import Eq, InRange
-from repro.serve import EnginePool, PoolError, PoolRequestError
+from repro.serve import (
+    BackendError,
+    EnginePool,
+    PoolError,
+    PoolRequestError,
+    PoolWorkerDied,
+)
 
 
 @pytest.fixture(scope="module")
@@ -114,3 +124,63 @@ class TestEnginePoolSmoke:
             EnginePool(artifact, workers=0)
         with pytest.raises(ValueError, match="routing"):
             EnginePool(artifact, routing="psychic")
+
+
+class TestWorkerDeath:
+    """A worker that dies mid-serving must surface promptly as a typed
+    PoolWorkerDied — not stall the caller until a timeout gives up."""
+
+    def test_killed_worker_raises_typed_error_promptly(self, artifact):
+        pool = EnginePool(artifact, workers=2).start()
+        try:
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            start = time.perf_counter()
+            with pytest.raises(PoolWorkerDied) as excinfo:
+                pool.select_many([SelectionRequest(k=3, l=3)] * 4)
+            assert time.perf_counter() - start < 5.0
+            assert excinfo.value.worker == 0
+            assert excinfo.value.exitcode == -signal.SIGKILL
+            assert excinfo.value.traceback is None  # SIGKILL leaves none
+        finally:
+            pool.close()
+
+    def test_crash_in_worker_loop_carries_the_traceback(self, artifact):
+        # A corrupt queue item crashes the worker loop *outside* the
+        # per-request handler; the worker reports its traceback on the way
+        # down and the drain loop re-raises it typed.
+        pool = EnginePool(artifact, workers=1).start()
+        try:
+            pool._request_queues[0].put("garbage")
+            start = time.perf_counter()
+            with pytest.raises(PoolWorkerDied) as excinfo:
+                pool.select_many([SelectionRequest(k=3, l=3)])
+            assert time.perf_counter() - start < 5.0
+            assert excinfo.value.worker == 0
+            assert excinfo.value.traceback is not None
+            assert "ValueError" in excinfo.value.traceback
+            assert "ValueError" in str(excinfo.value)
+        finally:
+            pool.close()
+
+    def test_worker_death_is_a_backend_error(self):
+        # The taxonomy the cluster router's failover keys on.
+        error = PoolWorkerDied(3, exitcode=-9)
+        assert isinstance(error, PoolError)
+        assert isinstance(error, BackendError)
+        assert "worker 3" in str(error)
+
+    def test_cluster_fails_over_a_pool_whose_worker_died(self, artifact):
+        from repro.serve import ClusterRouter, InProcessBackend, PoolBackend
+
+        doomed = PoolBackend(artifact, workers=1)
+        live = InProcessBackend.from_artifact(artifact)
+        cluster = ClusterRouter([("doomed", doomed), ("live", live)],
+                                replication=2)
+        try:
+            os.kill(doomed.pool._processes[0].pid, signal.SIGKILL)
+            responses = cluster.select_many(
+                [SelectionRequest(k=3, l=3), SelectionRequest(k=4, l=3)]
+            )
+            assert all(isinstance(r, SelectionResponse) for r in responses)
+        finally:
+            cluster.close()

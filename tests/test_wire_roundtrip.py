@@ -1,0 +1,222 @@
+"""Property tests: the JSON wire format round-trips requests/responses.
+
+The socket transport makes ``from_json(to_json(x)) == x`` load-bearing —
+every response a RemoteBackend returns went through it — so this module
+fuzzes the codec over the full value space: unicode column names and cell
+values, missing cells (NaN/None), empty and absent fairness constraints,
+every predicate type with edge-case operands, and responses whose
+sub-tables mix numeric and categorical columns.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SelectionRequest, SelectionResponse, WireFormatError
+from repro.core.fairness import GroupRepresentation
+from repro.core.result import SubTable
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+from repro.queries.ops import SPQuery
+from repro.queries.predicates import Eq, Gt, InRange, InSet, IsMissing, Lt
+
+# -- strategies --------------------------------------------------------------
+
+names = st.text(min_size=1, max_size=10).filter(lambda s: s == s.strip())
+numbers = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+cell_values = st.one_of(numbers, st.text(max_size=12))
+
+
+@st.composite
+def predicates(draw):
+    kind = draw(st.sampled_from(["eq", "gt", "lt", "in_range", "is_missing",
+                                 "in_set"]))
+    column = draw(names)
+    if kind == "eq":
+        return Eq(column, draw(cell_values))
+    if kind == "gt":
+        return Gt(column, draw(numbers))
+    if kind == "lt":
+        return Lt(column, draw(numbers))
+    if kind == "in_range":
+        low, high = sorted(draw(st.tuples(numbers, numbers)))
+        return InRange(column, low, high)
+    if kind == "is_missing":
+        return IsMissing(column)
+    return InSet(column, draw(st.lists(cell_values, max_size=5)))
+
+
+@st.composite
+def queries(draw):
+    projection = draw(st.one_of(
+        st.none(), st.lists(names, max_size=4, unique=True)
+    ))
+    return SPQuery(
+        predicates=draw(st.lists(predicates(), max_size=4)),
+        projection=projection,
+    )
+
+
+fairness_constraints = st.builds(
+    GroupRepresentation,
+    column=names,
+    min_per_group=st.integers(min_value=1, max_value=5),
+    min_group_share=st.floats(min_value=0.0, max_value=0.99,
+                              allow_nan=False),
+)
+
+
+@st.composite
+def selection_requests(draw):
+    targets = tuple(draw(st.lists(names, max_size=3, unique=True)))
+    l = draw(st.one_of(
+        st.none(), st.integers(min_value=max(1, len(targets)), max_value=40)
+    ))
+    k = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=40)))
+    if l is None and targets:
+        # k/l deferred to config: validation happens at serve time, so any
+        # target count is wire-legal here.
+        pass
+    return SelectionRequest(
+        k=k,
+        l=l,
+        query=draw(st.one_of(st.none(), queries())),
+        targets=targets,
+        fairness=draw(st.one_of(st.none(), fairness_constraints)),
+        row_mode=draw(st.one_of(st.none(), st.sampled_from(["mass", "cluster"]))),
+        column_mode=draw(st.one_of(st.none(), st.sampled_from(["mass"]))),
+        centroid_mode=draw(st.one_of(st.none(), st.sampled_from(["plain"]))),
+        use_cache=draw(st.booleans()),
+        dataset=draw(st.one_of(st.none(), names)),
+        algorithm=draw(st.one_of(st.none(), names)),
+    )
+
+
+@st.composite
+def subtables(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=6))
+    column_names = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    columns = []
+    for name in column_names:
+        if draw(st.booleans()):
+            values = draw(st.lists(
+                st.one_of(st.none(),
+                          st.floats(allow_nan=False, allow_infinity=False,
+                                    width=64)),
+                min_size=n_rows, max_size=n_rows,
+            ))
+            columns.append(Column(name, values, kind="numeric"))
+        else:
+            values = draw(st.lists(
+                st.one_of(st.none(), st.text(max_size=8)),
+                min_size=n_rows, max_size=n_rows,
+            ))
+            columns.append(Column(name, values, kind="categorical"))
+    targets = draw(st.lists(st.sampled_from(column_names), max_size=2,
+                            unique=True))
+    return SubTable(
+        frame=DataFrame(columns),
+        row_indices=draw(st.lists(st.integers(min_value=0, max_value=10**6),
+                                  min_size=n_rows, max_size=n_rows)),
+        columns=list(column_names),
+        targets=list(targets),
+    )
+
+
+@st.composite
+def selection_responses(draw):
+    return SelectionResponse(
+        subtable=draw(subtables()),
+        request=draw(selection_requests()),
+        algorithm=draw(names),
+        k=draw(st.integers(min_value=1, max_value=40)),
+        l=draw(st.integers(min_value=1, max_value=40)),
+        cache_hit=draw(st.booleans()),
+        select_seconds=draw(st.floats(min_value=0.0, max_value=100.0,
+                                      allow_nan=False)),
+        timings=draw(st.dictionaries(
+            names, st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            max_size=3,
+        )),
+    )
+
+
+# -- properties --------------------------------------------------------------
+
+class TestRequestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(request=selection_requests())
+    def test_from_json_to_json_is_identity(self, request):
+        assert SelectionRequest.from_json(request.to_json()) == request
+
+    @settings(max_examples=100, deadline=None)
+    @given(request=selection_requests())
+    def test_wire_text_is_stable(self, request):
+        text = request.to_json()
+        assert SelectionRequest.from_json(text).to_json() == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(request=selection_requests())
+    def test_wire_is_plain_json(self, request):
+        # Nothing non-JSON leaks through (numpy scalars, tuples, ...).
+        payload = json.loads(request.to_json())
+        assert isinstance(payload, dict)
+
+
+class TestResponseRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(response=selection_responses())
+    def test_from_json_to_json_is_identity(self, response):
+        decoded = SelectionResponse.from_json(response.to_json())
+        # dataclass equality: frame (NaN-aware column equality), request,
+        # provenance, and metadata all compare equal
+        assert decoded == response
+
+    @settings(max_examples=75, deadline=None)
+    @given(response=selection_responses())
+    def test_wire_text_is_stable(self, response):
+        text = response.to_json()
+        assert SelectionResponse.from_json(text).to_json() == text
+
+
+class TestEdgeCases:
+    def test_nan_cells_round_trip_as_missing(self):
+        subtable = SubTable(
+            frame=DataFrame([Column("x", [1.0, None, 3.0], kind="numeric")]),
+            row_indices=[7, 8, 9],
+            columns=["x"],
+            targets=[],
+        )
+        response = SelectionResponse(
+            subtable=subtable, request=SelectionRequest(), algorithm="subtab",
+            k=3, l=1, cache_hit=False, select_seconds=0.0,
+        )
+        assert SelectionResponse.from_json(response.to_json()) == response
+
+    @pytest.mark.parametrize("request_", [
+        SelectionRequest(),  # everything defaulted/deferred
+        SelectionRequest(targets=()),
+        SelectionRequest(query=SPQuery()),  # empty conjunction
+        SelectionRequest(query=SPQuery(projection=())),  # empty projection
+        SelectionRequest(query=SPQuery((InSet("c", ()),))),  # empty set
+        SelectionRequest(targets=("départ", "σχήμα")),  # unicode targets
+        SelectionRequest(fairness=GroupRepresentation("группа", 2, 0.0)),
+    ])
+    def test_known_edge_requests(self, request_):
+        assert SelectionRequest.from_json(request_.to_json()) == request_
+
+    def test_mismatched_format_rejected(self):
+        request_text = SelectionRequest(k=3, l=3).to_json()
+        with pytest.raises(WireFormatError, match="format"):
+            SelectionResponse.from_json(request_text)
+
+    def test_wrong_wire_version_rejected(self):
+        payload = json.loads(SelectionRequest(k=3, l=3).to_json())
+        payload["wire_version"] = 999
+        with pytest.raises(WireFormatError, match="version"):
+            SelectionRequest.from_json(json.dumps(payload))

@@ -6,6 +6,8 @@ The acceptance contract: ``Workspace.select_many`` over >= 2 datasets and
 round-trips every field including queries and targets.
 """
 
+import json
+
 import pytest
 
 from repro.api import (
@@ -244,3 +246,36 @@ class TestResponseWireFormat:
             payload["subtable"]["cells"][0]["name"]
         )
         assert bool(column.missing_mask()[0])
+
+
+class TestStatsJson:
+    """WorkspaceStats/PoolStats share one JSON shape (type + served +
+    detail), so pool and cluster benchmarks report comparable fields."""
+
+    def test_workspace_stats_to_json(self, seeded_store):
+        from repro.api import Workspace
+
+        workspace = Workspace(seeded_store, capacity=2)
+        workspace.select(SelectionRequest(k=3, l=3, dataset="planted"))
+        payload = workspace.stats.to_json()
+        json.dumps(payload)  # JSON-serializable end to end
+        assert payload["type"] == "workspace"
+        assert payload["served"] == 1
+        assert payload["engine_loads"] == 1
+        assert payload["resident"] == [["planted", "subtab"]]
+
+    def test_pool_stats_to_json_matches_counters(self, subtab_artifact):
+        from repro.serve import EnginePool
+
+        with EnginePool(subtab_artifact, workers=2) as pool:
+            pool.select_many([SelectionRequest(k=3, l=3)] * 3)
+            payload = pool.stats.to_json()
+        json.dumps(payload)
+        assert payload["type"] == "pool"
+        assert payload["workers"] == 2
+        assert payload["served"] == 3
+        assert payload["hits"] + payload["misses"] == 3
+        assert sum(payload["per_worker"].values()) == 3
+        assert payload["qps"] == pytest.approx(
+            payload["served"] / payload["seconds"]
+        )
