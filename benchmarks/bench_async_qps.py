@@ -1,0 +1,109 @@
+"""Async transport throughput — pipelined frames and read-from-replica.
+
+Two serving-layer claims, measured on one machine with the cyclic session
+workload of the pool/cluster benchmarks:
+
+1. **Pipelining beats round-tripping on the same single member.**  The
+   sync ``RemoteBackend`` can never have more than one frame in flight
+   per connection, so every request pays the full encode → socket →
+   dispatch → decode chain in sequence.  The pipelined
+   ``AsyncRemoteBackend`` streams the same requests as id-tagged frames
+   (``window`` in flight, corked burst writes, micro-batched server
+   dispatch), amortizing the per-frame syscalls and thread handoffs.
+
+2. **Read replicas beat failover-only replication.**  A 2-member
+   ``replication=2`` ring is served under ``primary`` (replicas are
+   failover-only, consistent hashing splits traffic unevenly) and
+   ``round_robin`` (every replica serves reads, traffic balances).  The
+   committed failover-only 2-member record from ``BENCH_cluster_qps.json``
+   (89.6 QPS over the sync transport) is embedded as the trajectory
+   reference this PR is measured against.
+
+On a single-core container, balancing cannot buy CPU parallelism and
+round-robin pays each state's cold miss once per replica, so ``primary``
+stays ahead in wall-clock there; the round-robin record is the honest
+single-core price of keeping every replica's LRU read-warm, and it still
+clears the committed failover-only reference by an integer factor thanks
+to the pipelined member clients.  On multi-core hosts the balanced split
+(``per_member`` is even under round-robin) converts into real scaling.
+
+Output: ``benchmarks/out/bench_async_qps.json`` (override the directory
+with ``REPRO_BENCH_OUT``).  The committed trajectory record lives at the
+repo root as ``BENCH_async_qps.json``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench import run_async_qps_experiment
+
+DEFAULT_OUT_DIR = Path(__file__).resolve().parent / "out"
+CLUSTER_REFERENCE = (
+    Path(__file__).resolve().parent.parent / "BENCH_cluster_qps.json"
+)
+
+
+def _out_path() -> Path:
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT_DIR))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / "bench_async_qps.json"
+
+
+def test_async_qps(benchmark, once, capsys):
+    result = once(
+        benchmark,
+        run_async_qps_experiment,
+        dataset_name="cyber",
+        n_sessions=12,
+        n_rows=1500,
+        k=10,
+        l=7,
+        seed=0,
+        window=64,
+        rounds=6,
+        cluster_reference_path=str(CLUSTER_REFERENCE),
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    payload = result.to_json()
+    path = _out_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    with capsys.disabled():
+        print(f"wrote {path}")
+
+    # Every path served the whole workload without failovers.
+    expected = result.n_states * result.rounds
+    for record in (result.sync_client, result.pipelined_client,
+                   result.replica_primary, result.replica_round_robin):
+        assert record["served"] == expected
+    for record in (result.replica_primary, result.replica_round_robin):
+        assert record["errors"] == 0
+        assert record["failovers"] == 0
+
+    # Claim 1: the pipelined client out-serves sync round trips on the
+    # same single member (the margin is far larger than run-to-run noise).
+    assert result.pipeline_speedup > 1.1, (
+        f"pipelined client is only {result.pipeline_speedup:.2f}x the sync "
+        f"client ({result.pipelined_client['qps']:.1f} vs "
+        f"{result.sync_client['qps']:.1f} QPS)"
+    )
+
+    # Claim 2: replicas genuinely serve reads — the round-robin split is
+    # balanced where primary's consistent-hash split is lopsided...
+    spread = result.replica_round_robin["per_member"].values()
+    assert max(spread) <= 1.5 * min(spread), (
+        f"round-robin reads did not balance: "
+        f"{result.replica_round_robin['per_member']}"
+    )
+    # ...and the read-replica ring clears the committed failover-only
+    # 2-member record it supersedes.
+    if result.cluster_reference:
+        assert (result.replica_round_robin["qps"]
+                > result.cluster_reference["qps"]), (
+            f"read-replica ring ({result.replica_round_robin['qps']:.1f} "
+            f"QPS) does not beat the committed failover-only 2-member "
+            f"record ({result.cluster_reference['qps']:.1f} QPS)"
+        )

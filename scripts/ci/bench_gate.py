@@ -1,0 +1,111 @@
+"""Bench-regression gate: fresh QPS vs the committed trajectory records.
+
+For every committed ``BENCH_*.json`` at the repo root, find the fresh
+record the benchmark step just wrote under ``benchmarks/out/`` and
+compare the headline QPS figures.  A fresh figure more than
+``--tolerance`` (default 40%) below its committed counterpart fails the
+gate — CI runners are noisy, so the tolerance is wide; a genuine
+serving-path regression (a lost cache, a serialized drain, a broken
+pipeline) blows through it anyway.
+
+Runs in CI after the benchmark steps, and locally:
+``python scripts/ci/bench_gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OUT_DIR = REPO_ROOT / "benchmarks" / "out"
+
+
+def _headline_qps(record: dict) -> dict:
+    """The comparable ``{label: qps}`` figures of one bench record, keyed
+    by the record's ``experiment`` field."""
+    experiment = record.get("experiment")
+    if experiment == "pool_qps":
+        return {"pool": record["pool"]["qps"]}
+    if experiment == "cluster_qps":
+        members = record["members"]
+        biggest = max(members, key=int)
+        return {f"cluster_x{biggest}": members[biggest]["qps"]}
+    if experiment == "async_qps":
+        return {
+            "pipelined": record["pipelined_client"]["qps"],
+            "replica_round_robin": record["replica_round_robin"]["qps"],
+        }
+    raise ValueError(f"no QPS extraction for experiment {experiment!r}")
+
+
+def compare(reference_path: Path, fresh_path: Path, tolerance: float) -> list:
+    """``(label, committed, fresh, ok)`` rows for one record pair."""
+    committed = _headline_qps(json.loads(reference_path.read_text()))
+    fresh = _headline_qps(json.loads(fresh_path.read_text()))
+    rows = []
+    for label, committed_qps in committed.items():
+        fresh_qps = fresh.get(label, 0.0)
+        ok = fresh_qps >= (1.0 - tolerance) * committed_qps
+        rows.append((label, committed_qps, fresh_qps, ok))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional QPS regression "
+                             "(default: 0.40)")
+    parser.add_argument("--out-dir", type=Path, default=DEFAULT_OUT_DIR,
+                        help="directory of fresh bench records")
+    parser.add_argument("--reference-dir", type=Path, default=REPO_ROOT,
+                        help="directory of committed BENCH_*.json records")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="skip committed records whose fresh "
+                             "counterpart was not produced (default: fail)")
+    args = parser.parse_args(argv)
+
+    references = sorted(args.reference_dir.glob("BENCH_*.json"))
+    if not references:
+        print(f"bench gate: no committed BENCH_*.json under "
+              f"{args.reference_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for reference in references:
+        fresh = args.out_dir / reference.name.replace("BENCH_", "bench_")
+        if not fresh.is_file():
+            if args.allow_missing:
+                print(f"bench gate: SKIP {reference.name} "
+                      f"(no fresh {fresh.name})")
+                continue
+            print(f"bench gate: FAIL {reference.name}: fresh record "
+                  f"{fresh} missing — did the benchmark step run?",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        for label, committed, measured, ok in compare(
+            reference, fresh, args.tolerance
+        ):
+            verdict = "ok" if ok else "FAIL"
+            print(f"bench gate: {verdict:4s} {reference.name} [{label}] "
+                  f"committed {committed:8.1f} QPS  fresh {measured:8.1f} "
+                  f"QPS  ({measured / committed:5.1%})"
+                  if committed else
+                  f"bench gate: {verdict:4s} {reference.name} [{label}] "
+                  f"committed 0 QPS")
+            if not ok:
+                failures += 1
+    if failures:
+        print(f"bench gate: {failures} figure(s) regressed more than "
+              f"{args.tolerance:.0%} below the committed records",
+              file=sys.stderr)
+        return 1
+    print("bench gate: all fresh QPS figures within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

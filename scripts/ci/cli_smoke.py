@@ -1,0 +1,22 @@
+"""CLI smoke: fit → show → serve artifact round-trip.
+
+Exercises artifact serialization end to end on a small synthetic dataset
+through the real command-line entry points, so save/load breakage fails
+fast and independently of pytest.  Runs in CI and locally:
+``python scripts/ci/cli_smoke.py``.
+"""
+
+from smoke_common import ensure_artifact, run_cli
+
+
+def main() -> int:
+    artifact = ensure_artifact()  # runs `fit` through the CLI
+    run_cli("show", "--artifact", str(artifact),
+            "-k", "4", "-l", "4", "--targets", "SERVICE")
+    run_cli("serve", "--artifact", str(artifact), "--sessions", "3")
+    print(f"cli smoke: fit/show/serve round-trip over {artifact} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

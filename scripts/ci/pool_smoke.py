@@ -1,0 +1,34 @@
+"""Pool smoke: EnginePool responses bit-for-bit vs the single engine.
+
+Serves sessions through a 2-worker ``EnginePool`` from the shared smoke
+artifact (after a pooled CLI round-trip) and asserts every pooled
+response matches the single-engine path bit for bit (wire form minus
+timing/cache metadata) — the multiprocess path and the JSON wire format
+exercised end to end.  Runs in CI and locally:
+``python scripts/ci/pool_smoke.py``.
+"""
+
+from smoke_common import diff_responses, ensure_artifact, run_cli, \
+    session_requests
+
+
+def main() -> int:
+    artifact = ensure_artifact()
+    run_cli("serve", "--artifact", str(artifact), "--sessions", "3",
+            "--workers", "2", "--routing", "hash")
+
+    from repro.api import Engine
+    from repro.serve import EnginePool
+
+    engine = Engine.load(artifact)
+    requests = session_requests(engine)
+    with EnginePool(str(artifact), workers=2) as pool:
+        pooled = pool.select_many(requests, raise_on_error=False)
+    checked = diff_responses(engine, requests, pooled, "pool smoke")
+    print(f"pool smoke: {checked} pooled responses bit-identical "
+          f"to the single-engine path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Socket-server smoke: RemoteBackend bit-for-bit vs in-process.
+
+Backgrounds ``serve --transport socket`` on an OS-assigned port, serves
+the generated session stream through a ``RemoteBackend`` client, and
+diffs every response against the in-process engine — the whole
+host-boundary leg (framing, server dispatch, wire codecs) end to end.  A
+server that never reports ready exits non-zero with its log.  Runs in CI
+and locally: ``python scripts/ci/socket_smoke.py``.
+"""
+
+from smoke_common import BackgroundServer, diff_responses, \
+    ensure_artifact, session_requests
+
+
+def main() -> int:
+    artifact = ensure_artifact()
+
+    from repro.api import Engine
+    from repro.serve import RemoteBackend
+
+    engine = Engine.load(artifact)
+    requests = session_requests(engine)
+    with BackgroundServer(artifact, transport="socket") as server:
+        remote = RemoteBackend(server.address)
+        over_socket = remote.select_many(requests, raise_on_error=False)
+        remote.close()
+    checked = diff_responses(engine, requests, over_socket, "socket smoke")
+    print(f"socket smoke: {checked} remote responses bit-identical "
+          f"to the in-process path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

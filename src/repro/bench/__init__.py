@@ -22,6 +22,7 @@ from repro.bench.harness import (
     scale_factor,
 )
 from repro.bench.experiments import (
+    AsyncQPSResult,
     ClusterQPSResult,
     ParameterTuningResult,
     PoolQPSResult,
@@ -31,6 +32,7 @@ from repro.bench.experiments import (
     SessionStudyResult,
     SlowBaselineResult,
     UserStudyExperimentResult,
+    run_async_qps_experiment,
     run_cluster_qps_experiment,
     run_parameter_tuning_experiment,
     run_pool_qps_experiment,
@@ -44,6 +46,7 @@ from repro.bench.experiments import (
 from repro.bench.reporting import format_bars, format_series, format_table
 
 __all__ = [
+    "AsyncQPSResult",
     "BENCH_ROWS",
     "ClusterQPSResult",
     "DatasetBundle",
@@ -62,6 +65,7 @@ __all__ = [
     "load_bundle",
     "make_selector",
     "prepare_selectors",
+    "run_async_qps_experiment",
     "run_cluster_qps_experiment",
     "run_parameter_tuning_experiment",
     "run_pool_qps_experiment",

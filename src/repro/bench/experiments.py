@@ -1129,3 +1129,285 @@ def run_cluster_qps_experiment(
     finally:
         if artifact_dir is None:  # only clean up the directory we created
             shutil.rmtree(artifact, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Async QPS — pipelined transport and read-from-replica routing
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AsyncQPSResult:
+    """Two claims of the asyncio transport, measured on one machine.
+
+    **Pipelining** (one member): the sync :class:`~repro.serve
+    .RemoteBackend` serializes a full round trip per request, so encode,
+    socket, dispatch, and decode never overlap; the pipelined
+    :class:`~repro.serve.AsyncRemoteBackend` streams the same requests as
+    id-tagged frames with ``window`` in flight over the same single
+    socket to the same single server.
+
+    **Read replicas** (two members, ``replication=2``): under the
+    ``primary`` policy replicas are failover-only dead weight — the ring
+    hands every request to its first replica, and consistent hashing
+    splits traffic unevenly; ``round_robin`` serves reads from every
+    replica, so the 2-member ring balances.  Both rings run pipelined
+    member clients; ``cluster_reference`` embeds the committed
+    failover-only 2-member record from ``BENCH_cluster_qps.json`` for
+    trajectory reading.
+
+    Read the ring numbers with the host's core count in mind: on one
+    core, balancing buys no CPU parallelism and round-robin pays each
+    state's cold miss once per replica, so ``primary`` keeps a wall-clock
+    edge there — the balanced ``per_member`` split is the claim, and the
+    committed failover-only reference is the bar both policies clear.
+    """
+
+    dataset: str
+    algorithm: str
+    k: int
+    l: int
+    n_states: int
+    rounds: int
+    window: int
+    cache_size: int
+    fit_seconds: float
+    sync_client: dict = field(default_factory=dict)
+    pipelined_client: dict = field(default_factory=dict)
+    replica_primary: dict = field(default_factory=dict)
+    replica_round_robin: dict = field(default_factory=dict)
+    cluster_reference: Optional[dict] = None
+
+    @property
+    def pipeline_speedup(self) -> float:
+        base = self.sync_client.get("qps", 0.0)
+        return self.pipelined_client.get("qps", 0.0) / base if base else 0.0
+
+    @property
+    def replica_read_gain(self) -> float:
+        base = self.replica_primary.get("qps", 0.0)
+        return (self.replica_round_robin.get("qps", 0.0) / base
+                if base else 0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "async_qps",
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "l": self.l,
+            "n_states": self.n_states,
+            "rounds": self.rounds,
+            "window": self.window,
+            "cache_size": self.cache_size,
+            "transport": "asyncio",
+            "fit_seconds": self.fit_seconds,
+            "sync_client": dict(self.sync_client),
+            "pipelined_client": dict(self.pipelined_client),
+            "replica_primary": dict(self.replica_primary),
+            "replica_round_robin": dict(self.replica_round_robin),
+            "pipeline_speedup": self.pipeline_speedup,
+            "replica_read_gain": self.replica_read_gain,
+            "cluster_reference": self.cluster_reference,
+        }
+
+    def render(self) -> str:
+        rows = [
+            ["sync client (1 member)", self.sync_client["served"],
+             self.sync_client["seconds"], self.sync_client["qps"]],
+            [f"pipelined client (1 member, window={self.window})",
+             self.pipelined_client["served"],
+             self.pipelined_client["seconds"], self.pipelined_client["qps"]],
+            ["2-member ring, policy=primary", self.replica_primary["served"],
+             self.replica_primary["seconds"], self.replica_primary["qps"]],
+            ["2-member ring, policy=round_robin",
+             self.replica_round_robin["served"],
+             self.replica_round_robin["seconds"],
+             self.replica_round_robin["qps"]],
+        ]
+        table = format_table(
+            f"Async transport QPS ({self.algorithm} on {self.dataset}, "
+            f"{self.n_states} states x {self.rounds} rounds, "
+            f"cache={self.cache_size}/member)",
+            ["serving path", "# selects", "total s", "QPS"],
+            rows,
+        )
+        reference = ""
+        if self.cluster_reference:
+            reference = (
+                f"\nfailover-only 2-member reference "
+                f"(BENCH_cluster_qps.json): "
+                f"{self.cluster_reference['qps']:.1f} QPS"
+            )
+        return (
+            f"{table}\n"
+            f"pipelining speedup: {self.pipeline_speedup:.2f}x   "
+            f"read-replica gain over primary: {self.replica_read_gain:.2f}x"
+            f"{reference}"
+        )
+
+
+def _drive_ring(artifact, workload, *, members, replication, replica_policy,
+                cache_size, window) -> dict:
+    """Serve ``workload`` through a fresh ring of async subprocess members
+    with pipelined clients; one serving record (the cluster bench shape)."""
+    from repro.serve import AsyncRemoteBackend, ClusterRouter, \
+        spawn_artifact_server
+
+    servers = [
+        spawn_artifact_server(artifact, cache_size=cache_size,
+                              transport="asyncio")
+        for _ in range(members)
+    ]
+    try:
+        router = ClusterRouter(
+            [(f"m{i}", AsyncRemoteBackend(server.address, window=window))
+             for i, server in enumerate(servers)],
+            replication=replication,
+            replica_policy=replica_policy,
+        )
+        start = time.perf_counter()
+        router.select_many(workload)
+        seconds = time.perf_counter() - start
+        stats = router.stats()
+        router.close()
+    finally:
+        for server in servers:
+            server.close()
+    return {
+        "served": stats["served"],
+        "errors": stats["errors"],
+        "seconds": seconds,
+        "qps": stats["served"] / seconds if seconds else 0.0,
+        "failovers": stats["failovers"],
+        "replica_policy": replica_policy,
+        "per_member": {
+            member["name"]: member["served"] for member in stats["members"]
+        },
+    }
+
+
+def run_async_qps_experiment(
+    dataset_name: str = "cyber",
+    n_sessions: int = 12,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = None,
+    window: int = 32,
+    rounds: int = 6,
+    max_states: int = 48,
+    shard_slack: float = 2.0,
+    cluster_reference_path: Optional[str] = None,
+    artifact_dir: Optional[str] = None,
+    algorithm: str = "subtab",
+) -> AsyncQPSResult:
+    """Measure pipelined-vs-sync client QPS and read-replica scaling.
+
+    Fits one engine, saves the artifact, and serves the cyclic session
+    workload of the pool/cluster benchmarks four ways: per-request round
+    trips through a sync :class:`~repro.serve.RemoteBackend` and a
+    many-in-flight :class:`~repro.serve.AsyncRemoteBackend` against the
+    *same* single asyncio member (both after one batch warm-up pass, so
+    the comparison isolates the transport, not the LRU), then a 2-member
+    ``replication=2`` ring under the ``primary`` (failover-only) and
+    ``round_robin`` (read-from-replica) policies, cold, like the cluster
+    bench.  Per-member LRU capacity is
+    ``ceil(shard_slack * n_states / 2)`` everywhere — large enough that a
+    replica can absorb the reads the policy hands it, so the ring
+    comparison isolates routing, not cache pressure.
+    """
+    import json as json_module
+    import math
+    import shutil
+    import tempfile
+    from pathlib import Path as PathType
+
+    from repro.api import Engine, SelectionRequest
+    from repro.serve import AsyncRemoteBackend, spawn_artifact_server
+
+    bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+    config = SubTabConfig(k=k, l=l, seed=seed)
+    engine = Engine(algorithm, config=config)
+    fit_start = time.perf_counter()
+    engine.fit(bundle.frame, binned=bundle.binned)
+    fit_seconds = time.perf_counter() - fit_start
+    artifact = artifact_dir or tempfile.mkdtemp(prefix="repro-async-qps-")
+    try:
+        engine.save(artifact)
+        states = _servable_session_states(
+            engine, bundle, n_sessions=n_sessions, dataset_name=dataset_name,
+            k=k, l=l, seed=seed, max_states=max_states,
+        )
+        n_states = len(states)
+        cache_size = max(1, math.ceil(shard_slack * n_states / 2))
+        requests = [SelectionRequest(k=k, l=l, query=state)
+                    for state in states]
+        workload = requests * rounds  # cyclic, as in the sibling benches
+
+        result = AsyncQPSResult(
+            dataset=bundle.name,
+            algorithm=engine.algorithm,
+            k=k,
+            l=l,
+            n_states=n_states,
+            rounds=rounds,
+            window=window,
+            cache_size=cache_size,
+            fit_seconds=fit_seconds,
+        )
+
+        # -- pipelining, one member: sync round trips vs windowed frames
+        with spawn_artifact_server(artifact, cache_size=cache_size,
+                                   transport="asyncio") as server:
+            sync = server.connect()
+            sync.select_many(requests)  # one batch warm-up: LRU filled
+            start = time.perf_counter()
+            for request in workload:
+                sync.select(request)
+            seconds = time.perf_counter() - start
+            result.sync_client = {
+                "served": len(workload),
+                "seconds": seconds,
+                "qps": len(workload) / seconds if seconds else 0.0,
+            }
+            sync.close()
+
+            pipelined = AsyncRemoteBackend(server.address, window=window)
+            start = time.perf_counter()
+            pipelined.select_many(workload)
+            seconds = time.perf_counter() - start
+            result.pipelined_client = {
+                "served": len(workload),
+                "seconds": seconds,
+                "qps": len(workload) / seconds if seconds else 0.0,
+                "window": window,
+            }
+            pipelined.close()
+
+        # -- read replicas, two members: failover-only vs round-robin
+        result.replica_primary = _drive_ring(
+            artifact, workload, members=2, replication=2,
+            replica_policy="primary", cache_size=cache_size, window=window,
+        )
+        result.replica_round_robin = _drive_ring(
+            artifact, workload, members=2, replication=2,
+            replica_policy="round_robin", cache_size=cache_size,
+            window=window,
+        )
+
+        if cluster_reference_path:
+            reference_file = PathType(cluster_reference_path)
+            if reference_file.is_file():
+                record = json_module.loads(reference_file.read_text())
+                two = record.get("members", {}).get("2")
+                if two:
+                    result.cluster_reference = {
+                        "qps": two["qps"],
+                        "served": two["served"],
+                        "transport": record.get("transport", "socket"),
+                        "replica_policy": "failover-only",
+                    }
+        return result
+    finally:
+        if artifact_dir is None:  # only clean up the directory we created
+            shutil.rmtree(artifact, ignore_errors=True)

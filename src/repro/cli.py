@@ -10,10 +10,13 @@ Commands:
   flags and drive generated exploration sessions through it.  One code
   path covers every topology: in-process (default), a warm-start
   :class:`~repro.serve.EnginePool` (``--workers N``), a socket *server*
-  exposing the backend to other hosts (``--transport socket``), and a
+  exposing the backend to other hosts (``--transport socket``, or
+  ``--transport asyncio`` for the pipelined many-in-flight server), and a
   client of one or more remote servers (``--connect HOST:PORT[,...]`` —
   several members form a consistent-hash
-  :class:`~repro.serve.ClusterRouter` with ``--replicas`` failover);
+  :class:`~repro.serve.ClusterRouter` with ``--replicas`` failover and a
+  ``--replica-policy`` read-routing policy; ``--pipelined`` speaks the
+  multiplexed client to each member);
 * ``experiment`` — run one of the paper's experiments and print its
   table/figure;
 * ``datasets`` — list the available synthetic datasets;
@@ -28,9 +31,11 @@ Examples::
     python -m repro serve --artifact /tmp/cyber-engine --sessions 5
     python -m repro serve --artifact /tmp/cyber-engine --workers 4 --routing hash
     python -m repro serve --artifact /tmp/cyber-engine --transport socket --port 7341
+    python -m repro serve --artifact /tmp/cyber-engine --transport asyncio --port 0
     python -m repro serve --artifact /tmp/cyber-engine --connect 127.0.0.1:7341
     python -m repro serve --artifact /tmp/cyber-engine \
-        --connect hostA:7341,hostB:7341 --replicas 2
+        --connect hostA:7341,hostB:7341 --replicas 2 \
+        --replica-policy round_robin --pipelined
     python -m repro experiment fig8 --rows 1500
 """
 
@@ -132,15 +137,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="pool request routing: one shared queue, or "
                             "per-worker queues keyed by request hash "
                             "(shards the selection LRUs)")
-    serve.add_argument("--transport", choices=["inproc", "socket"],
+    serve.add_argument("--transport", choices=["inproc", "socket", "asyncio"],
                        default="inproc",
                        help="inproc: drive the backend in this process; "
                             "socket: expose it as a length-prefixed JSON "
-                            "socket server on --host/--port instead")
+                            "socket server on --host/--port; asyncio: same "
+                            "wire format through the pipelined asyncio "
+                            "server (many frames in flight per connection)")
     serve.add_argument("--host", default="127.0.0.1",
-                       help="bind address for --transport socket")
+                       help="bind address for --transport socket/asyncio")
     serve.add_argument("--port", type=int, default=7341,
-                       help="bind port for --transport socket (0: ephemeral)")
+                       help="bind port for --transport socket/asyncio "
+                            "(0: ephemeral)")
     serve.add_argument("--connect", default=None, metavar="HOST:PORT[,...]",
                        help="serve through remote socket server(s); several "
                             "comma-separated members form a consistent-hash "
@@ -148,6 +156,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", type=int, default=2,
                        help="replica-set size per request when --connect "
                             "lists several members (failover breadth)")
+    serve.add_argument("--replica-policy",
+                       choices=["primary", "round_robin", "least_inflight"],
+                       default="primary",
+                       help="which live replica serves each read when "
+                            "--connect lists several members: primary "
+                            "(ring order; replicas are failover-only), "
+                            "round_robin, or least_inflight")
+    serve.add_argument("--pipelined", action="store_true",
+                       help="with --connect: speak the pipelined "
+                            "multiplexing client (many in-flight frames "
+                            "per member socket) instead of the "
+                            "request/response client")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS.keys()))
@@ -217,27 +237,36 @@ def _build_serve_backend(args) -> tuple:
     flags builds *some* backend and the driving loop below is identical
     for all of them.
     """
-    from repro.serve import ClusterRouter, RemoteBackend, artifact_backend
+    from repro.serve import (
+        AsyncRemoteBackend,
+        ClusterRouter,
+        RemoteBackend,
+        artifact_backend,
+    )
 
     if args.connect:
         addresses = [a.strip() for a in args.connect.split(",") if a.strip()]
         if not addresses:
             raise SystemExit("serve: --connect needs at least one HOST:PORT")
+        client = AsyncRemoteBackend if args.pipelined else RemoteBackend
+        flavor = "pipelined " if args.pipelined else ""
         try:
-            members = [(address, RemoteBackend(address))
-                       for address in addresses]
+            members = [(address, client(address)) for address in addresses]
             if len(addresses) == 1:
                 return (members[0][1],
-                        f"Backend: remote server {addresses[0]}")
+                        f"Backend: {flavor}remote server {addresses[0]}")
             cluster = ClusterRouter(
                 members,
                 replication=args.replicas,
+                replica_policy=args.replica_policy,
             )
         except ValueError as error:  # bad address, duplicate, replicas < 1
             raise SystemExit(f"serve: {error}") from error
         return (cluster,
-                f"Backend: cluster of {len(addresses)} members "
-                f"(replication={args.replicas}, consistent-hash routing)")
+                f"Backend: cluster of {len(addresses)} {flavor}members "
+                f"(replication={args.replicas}, "
+                f"replica_policy={args.replica_policy}, "
+                f"consistent-hash routing)")
     backend = artifact_backend(
         args.artifact,
         workers=args.workers,
@@ -282,8 +311,9 @@ def _render_serving_stats(stats: dict, results) -> str:
             for member in stats["members"]
         )
         return (f"aggregate QPS: {stats['qps']:.1f}   "
-                f"failovers: {stats['failovers']}   per-member: {members}")
-    if kind == "remote":
+                f"failovers: {stats['failovers']}   "
+                f"policy: {stats['replica_policy']}   per-member: {members}")
+    if kind in ("remote", "pipelined"):
         return (f"aggregate QPS: {stats['qps']:.1f}   "
                 f"server: {stats['address']}")
     return f"aggregate QPS: {stats.get('qps', 0.0):.1f}"
@@ -291,7 +321,7 @@ def _render_serving_stats(stats: dict, results) -> str:
 
 def _serve_socket(args) -> int:
     """Expose the locally built backend on a TCP address (server mode)."""
-    from repro.serve import SocketServer, artifact_backend
+    from repro.serve import AsyncSocketServer, SocketServer, artifact_backend
 
     backend = artifact_backend(
         args.artifact,
@@ -299,12 +329,16 @@ def _serve_socket(args) -> int:
         cache_size=args.cache_size,
         routing=args.routing,
     )
-    server = SocketServer(backend, host=args.host, port=args.port,
-                          own_backend=True)
+    if args.transport == "asyncio":
+        server = AsyncSocketServer(backend, host=args.host, port=args.port,
+                                   own_backend=True).start()
+    else:
+        server = SocketServer(backend, host=args.host, port=args.port,
+                              own_backend=True)
     host, port = server.address
     print(f"serving {args.artifact} on {host}:{port} "
-          f"(workers={args.workers}, routing={args.routing}); "
-          f"Ctrl-C to stop", flush=True)
+          f"(transport={args.transport}, workers={args.workers}, "
+          f"routing={args.routing}); Ctrl-C to stop", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -320,10 +354,10 @@ def _cmd_serve(args) -> int:
     from repro.queries.generator import SessionGenerator
     from repro.serve import BackendError, InProcessBackend
 
-    if args.connect and args.transport == "socket":
+    if args.connect and args.transport != "inproc":
         raise SystemExit("serve: --connect is a client mode; it cannot be "
-                         "combined with --transport socket")
-    if args.transport == "socket":
+                         f"combined with --transport {args.transport}")
+    if args.transport in ("socket", "asyncio"):
         return _serve_socket(args)
 
     # One code path for every topology: build a backend, drive it.

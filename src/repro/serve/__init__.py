@@ -5,10 +5,12 @@ Public surface::
     from repro.serve import (
         ExecutionBackend, InProcessBackend, PoolBackend,   # local backends
         RemoteBackend, SocketServer, spawn_artifact_server, # socket transport
-        ClusterRouter,                                     # consistent-hash ring
+        AsyncRemoteBackend, AsyncSocketServer,             # pipelined asyncio
+        ClusterRouter, ReplicaPolicy,                      # consistent-hash ring
         EnginePool, PoolStats,                             # process pool
         BackendError, RequestError, TransportError,        # error taxonomy
         PoolError, PoolRequestError, PoolWorkerDied, ClusterError,
+        PipelineCancelled,
         artifact_backend,
     )
 
@@ -29,6 +31,7 @@ re-exported here live in :mod:`repro.api.cache`.
 """
 
 from repro.api.cache import CacheStats, LRUCache, query_fingerprint
+from repro.serve.aio import AsyncRemoteBackend, AsyncSocketServer
 from repro.serve.backend import (
     BaseBackend,
     ExecutionBackend,
@@ -36,10 +39,17 @@ from repro.serve.backend import (
     PoolBackend,
     artifact_backend,
 )
-from repro.serve.cluster import ClusterRouter, request_key
+from repro.serve.cluster import (
+    ClusterRouter,
+    ReplicaPolicy,
+    make_replica_policy,
+    replica_policy_names,
+    request_key,
+)
 from repro.serve.errors import (
     BackendError,
     ClusterError,
+    PipelineCancelled,
     PoolError,
     PoolRequestError,
     PoolWorkerDied,
@@ -60,6 +70,8 @@ from repro.serve.transport import (
 )
 
 __all__ = [
+    "AsyncRemoteBackend",
+    "AsyncSocketServer",
     "BackendError",
     "BaseBackend",
     "CacheStats",
@@ -69,6 +81,7 @@ __all__ = [
     "ExecutionBackend",
     "InProcessBackend",
     "LRUCache",
+    "PipelineCancelled",
     "PoolBackend",
     "PoolError",
     "PoolRequestError",
@@ -77,14 +90,17 @@ __all__ = [
     "RemoteBackend",
     "RemoteRequestError",
     "RemoteServerError",
+    "ReplicaPolicy",
     "RequestError",
     "SocketServer",
     "SpawnedServer",
     "SubTabService",
     "TransportError",
     "artifact_backend",
+    "make_replica_policy",
     "query_fingerprint",
     "recv_frame",
+    "replica_policy_names",
     "request_key",
     "send_frame",
     "spawn_artifact_server",

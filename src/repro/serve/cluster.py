@@ -15,12 +15,20 @@ request-hash)``:
 * the first ``r`` *distinct* members clockwise from the key are its
   replica set, where ``r`` is the per-dataset replication factor
   (``dataset_replication`` overrides the default ``replication``);
-* the first live replica serves; a member that raises a
+* a pluggable :class:`ReplicaPolicy` picks which live replica **serves
+  the read** — ``"primary"`` always reads from the first replica in ring
+  order (maximally warm LRUs, replicas are pure failover standbys),
+  ``"round_robin"`` rotates reads across the replica set (every replica
+  earns its keep under load), ``"least_inflight"`` reads from the replica
+  with the fewest requests currently in flight (routes around slow
+  members before they fail) — driven by the per-member traffic counters
+  the router keeps anyway;
+* whichever replica the policy picks first, a member that raises a
   :class:`~repro.serve.errors.BackendError` (dead socket, dead pool
   worker, exhausted nested cluster) is marked suspect and the request
-  **fails over** to the next replica.  Request-level errors (unknown
-  target, degenerate query) never fail over — they would fail identically
-  everywhere.
+  **fails over** to the next replica in the policy's order.
+  Request-level errors (unknown target, degenerate query) never fail
+  over — they would fail identically everywhere.
 
 The router is itself an :class:`ExecutionBackend`, so topologies nest: a
 cluster of pools, a cluster whose members are remote clusters, ...
@@ -33,6 +41,7 @@ from __future__ import annotations
 import bisect
 import threading
 import time
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
@@ -65,8 +74,116 @@ class _Member:
     routed: int = 0
     served: int = 0
     errors: int = 0
+    inflight: int = 0
     dead: bool = False
     last_error: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Replica policies (who serves the read)
+# ---------------------------------------------------------------------------
+
+class ReplicaPolicy:
+    """Orders a request's replica set: the first member serves the read,
+    the rest are its failover chain (quarantined members are always
+    deprioritized afterwards by the router, whatever the policy says).
+
+    Policies are consulted per request and may keep state (the round-robin
+    cursor); they must be thread-safe, because ``select_many`` batches are
+    grouped — and concurrent callers route — from multiple threads.
+    """
+
+    name = "policy"
+
+    def order(self, indices: Sequence[int],
+              members: Sequence[_Member]) -> list:
+        """A permutation of ``indices`` (ring order in, serve order out)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PrimaryPolicy(ReplicaPolicy):
+    """Always read from the first replica in ring order — the pre-policy
+    behavior: maximal LRU affinity, replicas are failover-only standbys."""
+
+    name = "primary"
+
+    def order(self, indices, members):
+        return list(indices)
+
+
+class RoundRobinPolicy(ReplicaPolicy):
+    """Rotate reads across the replica set.
+
+    One cursor *per replica set* (not one global cursor: a global cursor
+    aliases with periodic workloads — two alternating requests whose ring
+    orders also alternate would land every read on one member).  Each set
+    rotates through its own replicas, so repeats of the same request
+    spread evenly, at the cost of spreading that request's cache entry
+    across its replicas.
+    """
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cursors: dict = {}
+
+    def order(self, indices, members):
+        indices = list(indices)
+        key = tuple(indices)
+        with self._lock:
+            turn = self._cursors.get(key, 0)
+            self._cursors[key] = turn + 1
+        turn %= len(indices)
+        return indices[turn:] + indices[:turn]
+
+
+class LeastInflightPolicy(ReplicaPolicy):
+    """Read from the replica with the fewest requests in flight.
+
+    Uses the router's live per-member inflight gauges, so a slow or
+    saturated member sheds read traffic to its idle replicas *before* it
+    degrades into a failover.  Ties keep ring order, preserving cache
+    affinity when the ring is evenly loaded.
+    """
+
+    name = "least_inflight"
+
+    def order(self, indices, members):
+        ranked = sorted(
+            range(len(indices)),
+            key=lambda position: (members[indices[position]].inflight,
+                                  position),
+        )
+        return [indices[position] for position in ranked]
+
+
+_REPLICA_POLICIES = {
+    PrimaryPolicy.name: PrimaryPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastInflightPolicy.name: LeastInflightPolicy,
+}
+
+
+def replica_policy_names() -> list:
+    """Registered policy names, sorted (the CLI listing is deterministic)."""
+    return sorted(_REPLICA_POLICIES)
+
+
+def make_replica_policy(policy: "str | ReplicaPolicy") -> ReplicaPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, ReplicaPolicy):
+        return policy
+    try:
+        return _REPLICA_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replica policy {policy!r} "
+            f"(choose from {replica_policy_names()})"
+        ) from None
 
 
 class ClusterRouter(BaseBackend):
@@ -89,6 +206,12 @@ class ClusterRouter(BaseBackend):
     dataset_replication:
         Per-dataset overrides, ``{dataset_name: replicas}`` — hot datasets
         can replicate wider than the default.
+    replica_policy:
+        Which live replica serves each read: ``"primary"`` (default —
+        ring order, replicas are failover-only), ``"round_robin"``,
+        ``"least_inflight"``, or a :class:`ReplicaPolicy` instance.
+        Failover-on-:class:`BackendError` semantics are identical under
+        every policy; only the first replica *tried* changes.
     vnodes:
         Virtual points per member on the ring (more = smoother balance).
     own_members:
@@ -102,6 +225,7 @@ class ClusterRouter(BaseBackend):
         members: Sequence,
         replication: int = 2,
         dataset_replication: Optional[dict] = None,
+        replica_policy: "str | ReplicaPolicy" = "primary",
         vnodes: int = DEFAULT_VNODES,
         own_members: bool = True,
     ):
@@ -124,9 +248,11 @@ class ClusterRouter(BaseBackend):
             raise ValueError(f"member names must be unique, got {names}")
         self.replication = replication
         self.dataset_replication = dict(dataset_replication or {})
+        self.replica_policy = make_replica_policy(replica_policy)
         self.vnodes = vnodes
         self._own_members = own_members
         self._failovers = 0
+        self._dataset_traffic: Counter = Counter()
         # Guards the failure bookkeeping (_mark_failed / _failovers), which
         # member drain threads update concurrently.
         self._suspect_lock = threading.Lock()
@@ -171,11 +297,34 @@ class ClusterRouter(BaseBackend):
         return chosen
 
     def _attempt_order(self, indices: Sequence[int]) -> list[int]:
-        """Live replicas first; suspects last (a recovered member gets
-        another chance only once every live replica has failed too)."""
-        live = [i for i in indices if not self._members[i].dead]
-        dead = [i for i in indices if self._members[i].dead]
+        """The serve order of a replica set: the replica policy picks who
+        reads, then live replicas come before suspects (a recovered member
+        gets another chance only once every live replica has failed too)."""
+        ordered = self.replica_policy.order(indices, self._members)
+        live = [i for i in ordered if not self._members[i].dead]
+        dead = [i for i in ordered if self._members[i].dead]
         return live + dead
+
+    def _count_traffic(self, requests: Sequence[SelectionRequest]) -> None:
+        """Per-dataset traffic counters (``None`` = the unnamed dataset).
+
+        This is the observability feed for replication planning: a hot
+        dataset shows up here long before its members saturate, so an
+        operator (or a future auto-policy) can widen its
+        ``dataset_replication`` entry.
+        """
+        with self._suspect_lock:
+            self._dataset_traffic.update(
+                request.dataset for request in requests
+            )
+
+    def _begin_inflight(self, index: int, count: int = 1) -> None:
+        with self._suspect_lock:
+            self._members[index].inflight += count
+
+    def _end_inflight(self, index: int, count: int = 1) -> None:
+        with self._suspect_lock:
+            self._members[index].inflight -= count
 
     def _mark_failed(self, index: int, error: BaseException) -> None:
         with self._suspect_lock:
@@ -217,12 +366,15 @@ class ClusterRouter(BaseBackend):
         for index in order:
             member = self._members[index]
             member.routed += 1
+            self._begin_inflight(index)
             try:
                 response = member.backend.select(request)
             except BackendError as error:
                 self._mark_failed(index, error)
                 attempts.append(f"{member.name}: {member.last_error}")
                 continue
+            finally:
+                self._end_inflight(index)
             member.dead = False  # served fine: clear any stale suspicion
             member.served += 1
             if attempts or prior_failure:
@@ -238,6 +390,7 @@ class ClusterRouter(BaseBackend):
 
     def select(self, request: SelectionRequest) -> SelectionResponse:
         self._require_open()
+        self._count_traffic([request])
         start = time.perf_counter()
         try:
             response = self._serve_with_failover(request)
@@ -262,6 +415,7 @@ class ClusterRouter(BaseBackend):
         member = self._members[index]
         requests = [request for _, request in numbered]
         member.routed += len(requests)
+        self._begin_inflight(index, len(requests))
         try:
             entries = member.backend.select_many(requests, raise_on_error=False)
         except BackendError as error:
@@ -280,6 +434,8 @@ class ClusterRouter(BaseBackend):
             member.served += sum(
                 1 for e in entries if isinstance(e, SelectionResponse)
             )
+        finally:
+            self._end_inflight(index, len(requests))
         return [(position, entry)
                 for (position, _), entry in zip(numbered, entries)]
 
@@ -289,15 +445,26 @@ class ClusterRouter(BaseBackend):
         raise_on_error: bool = True,
     ) -> list:
         self._require_open()
+        self._count_traffic(requests)
         start = time.perf_counter()
         # One serialization + hash per request, reused by the failover pass.
         points = [stable_hash64(request_key(request)) for request in requests]
         groups: dict[int, list] = {}
+        # Planned assignments count as provisional in-flight load while the
+        # batch is being grouped — otherwise a load-aware policy (least
+        # inflight) would see every gauge at its pre-batch value and route
+        # the whole batch as if it were the first request.
+        planned: dict[int, int] = {}
         for position, request in enumerate(requests):
             indices = self._attempt_order(
                 self._replica_indices(request, points[position])
             )
-            groups.setdefault(indices[0], []).append((position, request))
+            target = indices[0]
+            groups.setdefault(target, []).append((position, request))
+            planned[target] = planned.get(target, 0) + 1
+            self._begin_inflight(target)
+        for target, count in planned.items():
+            self._end_inflight(target, count)  # the drains re-account it
         entries: list = [None] * len(requests)
         if len(groups) <= 1:
             drained = [self._drain_group(index, numbered)
@@ -330,17 +497,28 @@ class ClusterRouter(BaseBackend):
     # -- introspection / lifecycle ------------------------------------------
     def stats(self) -> dict:
         payload = super().stats()
+        with self._suspect_lock:  # _count_traffic mutates concurrently
+            traffic = dict(self._dataset_traffic)
         payload.update({
             "replication": self.replication,
             "dataset_replication": dict(self.dataset_replication),
+            "replica_policy": self.replica_policy.name,
             "vnodes": self.vnodes,
             "failovers": self._failovers,
+            # None keys (the unnamed dataset) are JSON-hostile: label them.
+            "datasets": {
+                (dataset if dataset is not None else ""): count
+                for dataset, count in sorted(
+                    traffic.items(), key=lambda kv: str(kv[0])
+                )
+            },
             "members": [
                 {
                     "name": member.name,
                     "routed": member.routed,
                     "served": member.served,
                     "errors": member.errors,
+                    "inflight": member.inflight,
                     "dead": member.dead,
                     "last_error": member.last_error,
                 }
@@ -360,4 +538,5 @@ class ClusterRouter(BaseBackend):
 
     def __repr__(self) -> str:
         return (f"ClusterRouter(members={self.member_names}, "
-                f"replication={self.replication})")
+                f"replication={self.replication}, "
+                f"replica_policy={self.replica_policy.name!r})")

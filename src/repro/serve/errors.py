@@ -87,6 +87,18 @@ class TransportError(BackendError):
     """The socket transport failed (connect, framing, or a dropped peer)."""
 
 
+class PipelineCancelled(TransportError):
+    """The pipelined client was closed with frames still in flight.
+
+    Raised by every in-flight future of an
+    :class:`~repro.serve.aio.AsyncRemoteBackend` whose ``close()`` ran
+    before the server replied.  A :class:`TransportError` (and therefore a
+    :class:`BackendError`), but deliberately distinct: cancellation is the
+    *caller's* doing, so the client never auto-retries it the way it
+    retries a stale connection.
+    """
+
+
 class RemoteServerError(BackendError):
     """The remote server reported a backend-level fault of its own."""
 

@@ -17,6 +17,17 @@ in exactly the wire form the :class:`~repro.serve.EnginePool` workers
 already exchange, so socket-served responses are bit-identical to
 in-process ones.
 
+A message may carry an ``"id"`` field; the server echoes it verbatim into
+the reply.  Clients that serialize request/response per connection (the
+sync :class:`RemoteBackend`) never send one and see byte-identical
+replies; clients that pipeline many frames per connection
+(:class:`~repro.serve.aio.AsyncRemoteBackend`) use the echo to correlate
+out-of-order completions.  The frame codec (:func:`encode_frame` /
+:func:`decode_payload`) and the server-side op dispatch
+(:class:`BackendDispatcher`) are shared with the asyncio server in
+:mod:`repro.serve.aio`, so both transports speak one protocol by
+construction.
+
 Operations (client → server)
 ----------------------------
 =================  =====================================================
@@ -64,6 +75,10 @@ MAX_FRAME_BYTES = 1 << 28
 
 _HEADER = struct.Struct(">I")
 
+#: Size of the length prefix, for transports that read it themselves
+#: (the asyncio server's ``readexactly`` loop).
+FRAME_HEADER_SIZE = _HEADER.size
+
 
 # ---------------------------------------------------------------------------
 # Framing
@@ -89,15 +104,39 @@ def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[b
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, payload: dict) -> None:
-    """Send one length-prefixed JSON frame."""
+def encode_frame(payload: dict) -> bytes:
+    """One length-prefixed JSON frame as bytes (header + body)."""
     data = json.dumps(payload, sort_keys=True).encode("utf-8")
     if len(data) > MAX_FRAME_BYTES:
         raise TransportError(
             f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
             "transport limit"
         )
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    return _HEADER.pack(len(data)) + data
+
+
+def frame_length(header: bytes) -> int:
+    """Body length announced by a 4-byte frame header (bounds-checked)."""
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte transport limit"
+        )
+    return length
+
+
+def decode_payload(data: bytes) -> dict:
+    """Decode one frame body (raises :class:`TransportError` on garbage)."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"undecodable frame: {error}") from error
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one length-prefixed JSON frame."""
+    sock.sendall(encode_frame(payload))
 
 
 def recv_frame(sock: socket.socket) -> Optional[dict]:
@@ -105,125 +144,42 @@ def recv_frame(sock: socket.socket) -> Optional[dict]:
     header = _recv_exact(sock, _HEADER.size, at_boundary=True)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise TransportError(
-            f"peer announced a {length}-byte frame, over the "
-            f"{MAX_FRAME_BYTES}-byte transport limit"
-        )
+    length = frame_length(header)
     data = _recv_exact(sock, length, at_boundary=False)
-    try:
-        return json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise TransportError(f"undecodable frame: {error}") from error
+    return decode_payload(data)
 
 
 # ---------------------------------------------------------------------------
-# Server
+# Dispatch (shared by the sync and asyncio servers)
 # ---------------------------------------------------------------------------
 
-class _ConnectionHandler(socketserver.BaseRequestHandler):
-    def handle(self) -> None:
-        while True:
-            try:
-                message = recv_frame(self.request)
-            except TransportError:
-                return
-            if message is None:
-                return
-            reply = self.server.owner.handle_message(message)
-            try:
-                send_frame(self.request, reply)
-            except (TransportError, OSError):
-                return
+class BackendDispatcher:
+    """Maps wire messages onto a hosted backend — the one server brain.
 
-
-class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
-    owner: "SocketServer"
-
-
-class SocketServer:
-    """Serve an :class:`ExecutionBackend` over TCP.
-
-    >>> server = SocketServer(backend, port=0).start()   # doctest: +SKIP
-    >>> RemoteBackend(server.address).select(request)    # doctest: +SKIP
-
-    ``port=0`` binds an ephemeral port; read the bound address from
-    :attr:`address`.  Connections are handled in threads, but backend
-    calls are serialized under one lock — a hosted :class:`EnginePool`'s
+    Both the threaded :class:`SocketServer` and the
+    :class:`~repro.serve.aio.AsyncSocketServer` hand every decoded frame
+    to one of these, so the op set, the error taxonomy, and the
+    request-id echo cannot drift between transports.  Backend calls are
+    serialized under one lock: a hosted :class:`~repro.serve.EnginePool`'s
     drain loop is single-caller, and cross-member parallelism in a cluster
     comes from running many server *processes*, not many threads in one.
-
-    Parameters
-    ----------
-    backend:
-        Any execution backend (engine, pool, even a whole cluster).
-    host, port:
-        Bind address (``port=0``: ephemeral).
-    own_backend:
-        Close the backend when the server closes.
     """
 
-    def __init__(
-        self,
-        backend,
-        host: str = DEFAULT_HOST,
-        port: int = 0,
-        own_backend: bool = False,
-    ):
+    def __init__(self, backend):
         self.backend = backend
-        self._own_backend = own_backend
         self._lock = threading.Lock()
-        self._server = _ThreadingTCPServer((host, port), _ConnectionHandler)
-        self._server.owner = self
-        self._thread: Optional[threading.Thread] = None
-        self._closed = False
 
-    # -- lifecycle -----------------------------------------------------------
-    @property
-    def address(self) -> tuple:
-        """The bound ``(host, port)``."""
-        return self._server.server_address[:2]
-
-    def serve_forever(self) -> None:
-        """Serve in the calling thread until :meth:`close` (or SIGINT)."""
-        self._server.serve_forever(poll_interval=0.1)
-
-    def start(self) -> "SocketServer":
-        """Serve in a background thread; returns ``self``."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self.serve_forever, daemon=True
-            )
-            self._thread.start()
-        return self
-
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        if self._own_backend:
-            self.backend.close()
-
-    def __enter__(self) -> "SocketServer":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    # -- protocol ------------------------------------------------------------
     def handle_message(self, message) -> dict:
         try:
-            return self._dispatch(message)
+            reply = self._dispatch(message)
         except Exception as error:  # never kill the connection on bad input
-            return {"ok": False, "kind": "protocol",
-                    "error": f"{type(error).__name__}: {error}"}
+            reply = {"ok": False, "kind": "protocol",
+                     "error": f"{type(error).__name__}: {error}"}
+        if isinstance(message, dict) and "id" in message:
+            # Pipelined clients correlate out-of-order completions by the
+            # echoed id; id-less clients see byte-identical replies.
+            reply["id"] = message["id"]
+        return reply
 
     def _dispatch(self, message) -> dict:
         if not isinstance(message, dict):
@@ -298,8 +254,128 @@ class SocketServer:
 
 
 # ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        while True:
+            try:
+                message = recv_frame(self.request)
+            except TransportError:
+                return
+            if message is None:
+                return
+            reply = self.server.owner.handle_message(message)
+            try:
+                send_frame(self.request, reply)
+            except (TransportError, OSError):
+                return
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "SocketServer"
+
+
+class SocketServer:
+    """Serve an :class:`ExecutionBackend` over TCP.
+
+    >>> server = SocketServer(backend, port=0).start()   # doctest: +SKIP
+    >>> RemoteBackend(server.address).select(request)    # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port; read the bound address from
+    :attr:`address`.  Connections are handled in threads, but backend
+    calls are serialized under one lock — a hosted :class:`EnginePool`'s
+    drain loop is single-caller, and cross-member parallelism in a cluster
+    comes from running many server *processes*, not many threads in one.
+
+    Parameters
+    ----------
+    backend:
+        Any execution backend (engine, pool, even a whole cluster).
+    host, port:
+        Bind address (``port=0``: ephemeral).
+    own_backend:
+        Close the backend when the server closes.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        own_backend: bool = False,
+    ):
+        self.backend = backend
+        self._own_backend = own_backend
+        self._dispatcher = BackendDispatcher(backend)
+        self._server = _ThreadingTCPServer((host, port), _ConnectionHandler)
+        self._server.owner = self
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`close` (or SIGINT)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "SocketServer":
+        """Serve in a background thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._own_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "SocketServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- protocol ------------------------------------------------------------
+    def handle_message(self, message) -> dict:
+        return self._dispatcher.handle_message(message)
+
+
+# ---------------------------------------------------------------------------
 # Client
 # ---------------------------------------------------------------------------
+
+def reply_error(reply: dict) -> Exception:
+    """The typed client-side exception a failure reply maps to.
+
+    One mapping for every client (sync and pipelined), so the wire error
+    taxonomy — ``request`` fails everywhere and never fails over,
+    ``backend`` triggers failover — cannot diverge between transports.
+    """
+    kind = reply.get("kind", "backend")
+    error = reply.get("error", "unknown server error")
+    if kind == "request":
+        return RemoteRequestError(error)
+    if kind == "backend":
+        return RemoteServerError(error)
+    return TransportError(f"server protocol error: {error}")
+
 
 def parse_address(address: "str | tuple") -> tuple:
     """``"host:port"`` (or an ``(host, port)`` pair) → ``(host, port)``."""
@@ -387,15 +463,7 @@ class RemoteBackend(BaseBackend):
                 f"{type(error).__name__}: {error}"
             ) from error
 
-    @staticmethod
-    def _reply_error(reply: dict) -> Exception:
-        kind = reply.get("kind", "backend")
-        error = reply.get("error", "unknown server error")
-        if kind == "request":
-            return RemoteRequestError(error)
-        if kind == "backend":
-            return RemoteServerError(error)
-        return TransportError(f"server protocol error: {error}")
+    _reply_error = staticmethod(reply_error)
 
     def ping(self) -> bool:
         """Liveness probe (raises :class:`TransportError` when unreachable)."""
@@ -463,6 +531,7 @@ class RemoteBackend(BaseBackend):
 
 def _server_process_main(
     conn, artifact, workers, cache_size, routing, algorithm, host, port,
+    transport,
 ) -> None:
     from repro.serve.backend import artifact_backend
 
@@ -475,7 +544,14 @@ def _server_process_main(
             routing=routing,
             algorithm=algorithm,
         )
-        server = SocketServer(backend, host=host, port=port, own_backend=True)
+        if transport == "asyncio":
+            from repro.serve.aio import AsyncSocketServer
+
+            server = AsyncSocketServer(backend, host=host, port=port,
+                                       own_backend=True).start()
+        else:
+            server = SocketServer(backend, host=host, port=port,
+                                  own_backend=True)
     except Exception as error:
         conn.send(("error", f"{type(error).__name__}: {error}"))
         conn.close()
@@ -505,6 +581,13 @@ class SpawnedServer:
     def connect(self, **options) -> RemoteBackend:
         """A fresh :class:`RemoteBackend` speaking to this server."""
         return RemoteBackend((self.host, self.port), **options)
+
+    def connect_pipelined(self, **options):
+        """A fresh pipelined :class:`~repro.serve.aio.AsyncRemoteBackend`
+        speaking to this server (works against either transport)."""
+        from repro.serve.aio import AsyncRemoteBackend
+
+        return AsyncRemoteBackend((self.host, self.port), **options)
 
     def kill(self) -> None:
         """Hard-stop the server (simulates a member host dying)."""
@@ -536,6 +619,7 @@ def spawn_artifact_server(
     host: str = DEFAULT_HOST,
     port: int = 0,
     startup_timeout: float = 120.0,
+    transport: str = "socket",
 ) -> SpawnedServer:
     """Start a socket server over ``artifact`` in a child process.
 
@@ -543,17 +627,22 @@ def spawn_artifact_server(
     ``workers>1``: an :class:`EnginePool`) via ``Engine.load`` — the
     paper's phase split is what makes spawning a member this cheap — binds
     ``host:port`` (``port=0``: ephemeral), and reports the bound address
-    back before serving.  This is how the cluster benchmark and the
-    failover tests stand up members on one machine; production members are
-    the same server started on real hosts (``python -m repro serve
-    --transport socket``).
+    back before serving.  ``transport`` picks the threaded
+    :class:`SocketServer` (``"socket"``) or the pipelined
+    :class:`~repro.serve.aio.AsyncSocketServer` (``"asyncio"``); both
+    speak the same framing, so either client connects to either.  This is
+    how the cluster benchmarks and the failover tests stand up members on
+    one machine; production members are the same server started on real
+    hosts (``python -m repro serve --transport socket|asyncio``).
     """
+    if transport not in ("socket", "asyncio"):
+        raise ValueError(f"unknown transport {transport!r}")
     context = multiprocessing.get_context()
     parent_conn, child_conn = context.Pipe()
     process = context.Process(
         target=_server_process_main,
         args=(child_conn, str(artifact), workers, cache_size, routing,
-              algorithm, host, port),
+              algorithm, host, port, transport),
         # A pooled member must be able to fork its own workers, which
         # daemonic processes may not.
         daemon=(workers == 1),

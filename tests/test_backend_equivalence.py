@@ -1,4 +1,4 @@
-"""Backend equivalence: one request stream, four topologies, one answer.
+"""Backend equivalence: one request stream, every topology, one answer.
 
 The re-layering's central promise: routing adds no transformation.  The
 same request stream replayed through an ``InProcessBackend``, a
@@ -9,9 +9,19 @@ legitimately differ per path).  Holds for any selector whose ``select`` is
 a pure function of the request — subtab is; order-sensitive baselines
 (e.g. nc's shared RNG) are excluded by construction, as in the pool tests.
 
+The asyncio transport extends the matrix without changing the wire
+format, so the full client x server grid must agree: sync client →
+async server, pipelined client → sync server, pipelined client → async
+server, and a cluster reading from replicas (``round_robin``) — all bit-
+identical to the in-process stream.
+
 Also here: the replica-failover half of the satellite — kill one cluster
-member mid-stream and the stream still completes, bit-identically.
+member mid-stream and the stream still completes, bit-identically — and
+the cancellation/slow-member behavior of the pipelined client.
 """
+
+import threading
+import time
 
 import pytest
 
@@ -19,8 +29,11 @@ from repro.api import SelectionRequest, SelectionResponse
 from repro.queries.ops import SPQuery
 from repro.queries.predicates import Eq, InRange
 from repro.serve import (
+    AsyncRemoteBackend,
+    AsyncSocketServer,
     ClusterRouter,
     InProcessBackend,
+    PipelineCancelled,
     PoolBackend,
     RemoteBackend,
     SocketServer,
@@ -97,6 +110,133 @@ class TestEquivalence:
             ]
             with ClusterRouter(members, replication=2) as cluster:
                 assert _contents(cluster.select_many(stream)) == expected
+
+
+class TestAsyncEquivalence:
+    """The transport interop grid: one stream, both clients, both servers,
+    and read-from-replica routing — all bit-identical."""
+
+    def test_sync_client_async_server_matches(self, fitted_engine, stream,
+                                              expected):
+        with AsyncSocketServer(InProcessBackend(fitted_engine)).start() \
+                as server:
+            remote = RemoteBackend(server.address)
+            assert _contents(remote.select_many(stream)) == expected
+            remote.close()
+
+    def test_async_client_sync_server_matches(self, fitted_engine, stream,
+                                              expected):
+        server = SocketServer(InProcessBackend(fitted_engine)).start()
+        try:
+            remote = AsyncRemoteBackend(server.address, window=3)
+            assert _contents(remote.select_many(stream)) == expected
+            remote.close()
+        finally:
+            server.close()
+
+    def test_async_client_async_server_matches(self, fitted_engine, stream,
+                                               expected):
+        with AsyncSocketServer(InProcessBackend(fitted_engine)).start() \
+                as server:
+            remote = AsyncRemoteBackend(server.address)
+            assert _contents(remote.select_many(stream)) == expected
+            remote.close()
+
+    def test_async_subprocess_member_matches(self, subtab_artifact, stream,
+                                             expected):
+        # The spawned-member path the benchmarks use: an asyncio server
+        # in a child process, spoken to by the pipelined client.
+        with spawn_artifact_server(subtab_artifact,
+                                   transport="asyncio") as server:
+            remote = server.connect_pipelined()
+            assert _contents(remote.select_many(stream)) == expected
+            remote.close()
+
+    def test_round_robin_replica_cluster_matches(self, subtab_artifact,
+                                                 stream, expected):
+        # Reads spread across the replica set must not change a byte —
+        # and with replication=2 over 2 members, both actually serve.
+        members = [
+            ("a", InProcessBackend.from_artifact(subtab_artifact)),
+            ("b", InProcessBackend.from_artifact(subtab_artifact)),
+        ]
+        with ClusterRouter(members, replication=2,
+                           replica_policy="round_robin") as cluster:
+            assert _contents(cluster.select_many(stream)) == expected
+            assert _contents([cluster.select(r) for r in stream]) == expected
+            stats = cluster.stats()
+        spread = {m["name"]: m["served"] for m in stats["members"]}
+        assert all(count > 0 for count in spread.values()), spread
+        assert stats["failovers"] == 0
+
+
+class TestPipelinedCancellation:
+    """Cancellation and slow members, at the equivalence-suite level: a
+    stalled stream neither blocks forever nor mislabels its failure."""
+
+    def test_close_mid_stream_raises_pipeline_cancelled(self,
+                                                        subtab_artifact):
+        from repro.serve import BaseBackend
+
+        class StallingBackend(BaseBackend):
+            kind = "stall"
+
+            def __init__(self):
+                super().__init__()
+                self.release = threading.Event()
+
+            def select(self, request):
+                self.release.wait(30.0)
+                raise RuntimeError("stalled")
+
+        stalling = StallingBackend()
+        server = AsyncSocketServer(stalling).start()
+        remote = AsyncRemoteBackend(server.address, call_timeout=60.0)
+        failures = []
+
+        def drive():
+            try:
+                remote.select_many([SelectionRequest(k=3, l=3)] * 3)
+            except Exception as error:
+                failures.append(error)
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        time.sleep(0.3)
+        remote.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert failures and isinstance(failures[0], PipelineCancelled)
+        stalling.release.set()
+        server.close()
+
+    def test_slow_member_fails_over_bit_identically(self, subtab_artifact,
+                                                    stream, expected):
+        import os
+        import signal as signal_module
+
+        # SIGSTOP a member (hung, not dead): the pipelined client's call
+        # timeout must convert the stall into a failover, and the stream
+        # still completes bit-identically on the healthy replica.
+        hung = spawn_artifact_server(subtab_artifact, transport="asyncio")
+        live = InProcessBackend.from_artifact(subtab_artifact)
+        cluster = ClusterRouter(
+            [("hung", AsyncRemoteBackend(hung.address, connect_timeout=2.0,
+                                         call_timeout=1.0)),
+             ("live", live)],
+            replication=2,
+        )
+        try:
+            os.kill(hung.process.pid, signal_module.SIGSTOP)
+            responses = cluster.select_many(stream)
+            assert _contents(responses) == expected
+            dead = {m["name"]: m["dead"]
+                    for m in cluster.stats()["members"]}
+            assert dead["live"] is False
+        finally:
+            os.kill(hung.process.pid, signal_module.SIGCONT)
+            cluster.close()
+            hung.close()
 
 
 class TestReplicaFailover:

@@ -13,6 +13,9 @@ from repro.serve import (
     ClusterError,
     ClusterRouter,
     InProcessBackend,
+    ReplicaPolicy,
+    make_replica_policy,
+    replica_policy_names,
 )
 from repro.serve.cluster import request_key
 
@@ -141,6 +144,140 @@ class TestServing:
         ClusterRouter([("a", inner)]).close()
         with pytest.raises(BackendError, match="closed"):
             inner.select(SelectionRequest(k=3, l=3))
+
+
+class TestReplicaPolicies:
+    def test_policy_registry(self):
+        assert replica_policy_names() == [
+            "least_inflight", "primary", "round_robin",
+        ]
+        assert make_replica_policy("round_robin").name == "round_robin"
+        instance = make_replica_policy("primary")
+        assert make_replica_policy(instance) is instance
+        with pytest.raises(ValueError, match="unknown replica policy"):
+            make_replica_policy("fastest_guess")
+        with pytest.raises(ValueError, match="unknown replica policy"):
+            ClusterRouter([("a", object())], replica_policy="nope")
+
+    def test_default_is_primary_failover_only(self, members, requests):
+        router = ClusterRouter(members, replication=2)
+        assert router.stats()["replica_policy"] == "primary"
+        router.select_many(requests)
+        # primary: every request lands on the first replica in ring order
+        for request in requests:
+            primary = router.replicas_for(request)[0]
+            served = {m["name"]: m["served"]
+                      for m in router.stats()["members"]}
+            assert served[primary] >= 1
+
+    def test_round_robin_spreads_reads_across_replicas(self, fitted_engine):
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="round_robin")
+        # the same request repeated: with primary it would pin to one
+        # member; round-robin must alternate its replica set
+        router.select_many([SelectionRequest(k=3, l=3)] * 8)
+        served = {m["name"]: m["served"] for m in router.stats()["members"]}
+        assert served == {"a": 4, "b": 4}
+        assert router.stats()["failovers"] == 0
+
+    def test_round_robin_does_not_alias_with_periodic_workloads(
+        self, fitted_engine
+    ):
+        # Two alternating requests whose ring orders also alternate: a
+        # global cursor would land every read on one member.
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="round_robin")
+        workload = [SelectionRequest(k=4, l=3),
+                    SelectionRequest(k=3, l=3, targets=("OUTCOME",))] * 4
+        router.select_many(workload)
+        served = {m["name"]: m["served"] for m in router.stats()["members"]}
+        assert served == {"a": 4, "b": 4}
+
+    def test_least_inflight_prefers_idle_members(self, fitted_engine):
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="least_inflight")
+        request = SelectionRequest(k=3, l=3)
+        ring_order = router.replicas_for(request)
+        # Idle ring: ties keep ring order (cache affinity preserved).
+        assert router._attempt_order(router._replica_indices(request)) == \
+            router._replica_indices(request)
+        # Load the ring-order primary: reads shed to the idle replica.
+        busy = router.member_names.index(ring_order[0])
+        router._begin_inflight(busy, 5)
+        try:
+            order = router._attempt_order(router._replica_indices(request))
+            assert router.member_names[order[0]] == ring_order[1]
+        finally:
+            router._end_inflight(busy, 5)
+
+    def test_least_inflight_balances_within_one_batch(self, fitted_engine):
+        # Grouping must account its own planned assignments: without the
+        # provisional inflight bumps, every request of a batch sees the
+        # pre-batch gauges (all zero) and the policy degrades to primary.
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="least_inflight")
+        router.select_many([SelectionRequest(k=3, l=3)] * 8)
+        served = {m["name"]: m["served"] for m in router.stats()["members"]}
+        assert served == {"a": 4, "b": 4}
+
+    def test_inflight_gauge_settles_to_zero(self, members, requests):
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="least_inflight")
+        router.select_many(requests)
+        assert all(m["inflight"] == 0
+                   for m in router.stats()["members"])
+
+    def test_round_robin_failover_semantics_intact(self, fitted_engine,
+                                                   requests):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        backup = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", backup)], replication=2,
+                               replica_policy="round_robin")
+        flaky.die()
+        responses = router.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+        dead = {m["name"]: m["dead"] for m in router.stats()["members"]}
+        assert dead == {"a": True, "b": False}
+        # request errors still never fail over, whatever the policy
+        with pytest.raises(ValueError, match="NOPE"):
+            router.select(SelectionRequest(k=3, l=3, targets=("NOPE",)))
+
+    def test_custom_policy_instances_plug_in(self, fitted_engine, requests):
+        class AlwaysLast(ReplicaPolicy):
+            name = "always_last"
+
+            def order(self, indices, members):
+                return list(reversed(indices))
+
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy=AlwaysLast())
+        assert router.stats()["replica_policy"] == "always_last"
+        responses = router.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+
+    def test_per_dataset_traffic_counters(self, members):
+        router = ClusterRouter(members, replication=2)
+        router.select_many([
+            SelectionRequest(k=3, l=3),
+            SelectionRequest(k=4, l=3),
+        ])
+        try:
+            router.select(SelectionRequest(k=3, l=3, dataset="hot"))
+        except Exception:
+            pass  # unnamed engines reject dataset routing; traffic counted
+        datasets = router.stats()["datasets"]
+        assert datasets[""] == 2
+        assert datasets["hot"] == 1
 
 
 class TestFailover:
