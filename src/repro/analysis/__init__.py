@@ -1,0 +1,40 @@
+"""reprolint: project-specific static analysis for the serving stack.
+
+Six AST-based rules encode the invariants the distributed serving stack
+(PRs 3-5) depends on but no test suite can exhaustively cover:
+
+* ``lock-discipline`` — attributes mutated under ``with self.<lock>``
+  must always be mutated under it;
+* ``async-blocking`` — no synchronous blocking calls inside coroutines;
+* ``error-taxonomy`` — serve/ raises and re-wraps through the typed
+  hierarchy in :mod:`repro.serve.errors`;
+* ``resource-lifecycle`` — close()-bearing constructions are released or
+  handed to an owner;
+* ``wire-completeness`` — dataclass fields match their wire codecs;
+* ``determinism`` — no unseeded or process-global randomness in
+  ``src/repro/``.
+
+Run ``python -m repro.analysis`` (see ``--help``); findings new relative
+to ``scripts/analysis_baseline.json`` fail the run.  Stdlib-``ast`` only
+— the analysis package adds no runtime dependency.
+"""
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.framework import Checker, Finding, ModuleContext
+from repro.analysis.runner import (
+    build_checkers,
+    diff_baseline,
+    load_baseline,
+    run_analysis,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "build_checkers",
+    "diff_baseline",
+    "load_baseline",
+    "run_analysis",
+]

@@ -1,0 +1,33 @@
+"""The reprolint rule registry.
+
+Order here is report order; ``--select`` filters by ``Checker.name``.
+"""
+
+from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.lifecycle import ResourceLifecycleChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.taxonomy import ErrorTaxonomyChecker
+from repro.analysis.checkers.wire import WireCompletenessChecker
+
+#: Every rule, in report order.  These are classes: the runner constructs
+#: a fresh instance per analysis run, so cross-file checker state never
+#: leaks between runs.
+ALL_CHECKERS = (
+    LockDisciplineChecker,
+    AsyncBlockingChecker,
+    ErrorTaxonomyChecker,
+    ResourceLifecycleChecker,
+    WireCompletenessChecker,
+    DeterminismChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AsyncBlockingChecker",
+    "DeterminismChecker",
+    "ErrorTaxonomyChecker",
+    "LockDisciplineChecker",
+    "ResourceLifecycleChecker",
+    "WireCompletenessChecker",
+]

@@ -1,0 +1,121 @@
+"""Rule ``async-blocking``: no synchronous blocking calls inside
+``async def`` bodies.
+
+One blocking call inside a coroutine stalls the entire event loop — in
+:mod:`repro.serve.aio` that means every pipelined client on the server
+freezes behind one request.  Flagged inside ``async def`` (nested
+synchronous ``def`` bodies are their own scope and exempt):
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* ``socket.create_connection(...)`` and raw-socket ``recv``/
+  ``recv_into``/``sendall``/``accept`` calls — use the asyncio stream or
+  ``loop.sock_*`` APIs;
+* the ``open(...)`` builtin — file I/O blocks; do it before entering the
+  coroutine or in ``run_in_executor``;
+* ``.get()``/``.put()`` on a ``queue.Queue`` (the *sync* queue —
+  ``asyncio.Queue`` is tracked through imports and exempt).
+
+Awaited expressions are never flagged: ``await q.get()`` on an
+``asyncio.Queue`` is the point of the API.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import (
+    Checker,
+    ModuleContext,
+    import_table,
+    resolve_call,
+    walk_scope,
+)
+
+_SOCKET_METHODS = {"recv", "recv_into", "sendall", "accept"}
+_SYNC_QUEUE_METHODS = {"get", "put"}
+
+
+class AsyncBlockingChecker(Checker):
+    name = "async-blocking"
+    description = (
+        "no time.sleep / sync socket or file I/O / queue.Queue.get|put "
+        "inside `async def` bodies"
+    )
+    scope = ()
+
+    def check_module(self, ctx: ModuleContext) -> list:
+        imports = import_table(ctx.tree)
+        # Names bound to sync-queue constructions anywhere in the module
+        # (module globals and `self._q = queue.Queue()` attributes alike).
+        sync_queues = self._sync_queue_names(ctx.tree, imports)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(
+                    self._check_coroutine(ctx, node, imports, sync_queues)
+                )
+        return findings
+
+    @staticmethod
+    def _sync_queue_names(tree, imports) -> set:
+        names = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            qual = resolve_call(node.value.func, imports)
+            if qual not in ("queue.Queue", "queue.LifoQueue",
+                            "queue.PriorityQueue", "queue.SimpleQueue"):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+        return names
+
+    def _check_coroutine(self, ctx, fn, imports, sync_queues) -> list:
+        awaited = set()
+        for node in walk_scope(fn):
+            if isinstance(node, ast.Await) and isinstance(node.value,
+                                                          ast.Call):
+                awaited.add(id(node.value))
+        findings = []
+        for node in walk_scope(fn):
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            message = self._blocking_reason(node, imports, sync_queues)
+            if message is not None:
+                findings.append(
+                    ctx.finding(self.name, node, message, symbol=fn.name)
+                )
+        return findings
+
+    @staticmethod
+    def _blocking_reason(call, imports, sync_queues):
+        qual = resolve_call(call.func, imports)
+        if qual == "time.sleep":
+            return ("time.sleep blocks the event loop; use "
+                    "`await asyncio.sleep(...)`")
+        if qual == "socket.create_connection":
+            return ("socket.create_connection blocks the event loop; use "
+                    "`asyncio.open_connection(...)`")
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            return ("open() blocks the event loop; read the file before "
+                    "entering the coroutine or use run_in_executor")
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in _SOCKET_METHODS:
+                return (f"sync socket .{attr}() blocks the event loop; use "
+                        "the asyncio stream / loop.sock_* APIs")
+            if attr in _SYNC_QUEUE_METHODS:
+                receiver = call.func.value
+                name = None
+                if isinstance(receiver, ast.Name):
+                    name = receiver.id
+                elif isinstance(receiver, ast.Attribute):
+                    name = receiver.attr
+                if name in sync_queues:
+                    return (f"queue.Queue.{attr}() blocks the event loop; "
+                            "use asyncio.Queue")
+        return None

@@ -1,0 +1,105 @@
+"""Rule ``determinism``: no unseeded or global-state randomness in
+``src/repro/``.
+
+The reproduction claim of the source paper rests on bit-identical
+replays: the backend-equivalence suite asserts that the in-process,
+pooled, socket, and async paths select the *same* sub-table for the same
+seeded request stream.  One unseeded RNG — or one draw from the process
+-global ``random``/``numpy.random`` state, whose sequence depends on
+everything else that ran in the process — silently breaks that
+property on some machine, some day.  All randomness must flow through
+explicitly seeded generators (see ``repro.utils.rng.ensure_rng``/
+``spawn_rng``).
+
+Flagged in modules whose path contains ``repro``:
+
+* ``numpy.random.default_rng()`` / ``RandomState()`` with no seed (or a
+  literal ``None``) — entropy-seeded, never replayable;
+* ``random.Random()`` with no seed — same;
+* any draw from the legacy numpy global state (``np.random.rand``,
+  ``.randint``, ``.shuffle``, ``.seed``, ...) or the stdlib ``random``
+  module functions (``random.random``, ``.choice``, ``.seed``, ...) —
+  even seeded, global state is shared across the process and not
+  replayable per-request.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import (
+    Checker,
+    ModuleContext,
+    import_table,
+    resolve_call,
+)
+
+_NUMPY_GLOBAL_DRAWS = {
+    "rand", "randn", "randint", "random", "random_sample", "sample",
+    "choice", "shuffle", "permutation", "normal", "uniform", "seed",
+    "standard_normal", "beta", "gamma", "poisson", "binomial", "bytes",
+}
+_STDLIB_GLOBAL_DRAWS = {
+    "random", "randint", "choice", "choices", "shuffle", "sample",
+    "uniform", "randrange", "seed", "gauss", "betavariate",
+    "gammavariate", "randbytes", "getrandbits",
+}
+_SEEDABLE_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = (
+        "no unseeded RNG construction or global random/numpy.random "
+        "state in src/repro/"
+    )
+    scope = ("repro",)
+
+    def check_module(self, ctx: ModuleContext) -> list:
+        imports = import_table(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = resolve_call(node.func, imports)
+            if qual is None:
+                continue
+            message = self._violation(qual, node)
+            if message is not None:
+                findings.append(ctx.finding(self.name, node, message))
+        return findings
+
+    @staticmethod
+    def _violation(qual: str, call: ast.Call):
+        if qual in _SEEDABLE_CONSTRUCTORS:
+            unseeded = not call.args and not call.keywords
+            literal_none = (
+                call.args
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value is None
+            )
+            if unseeded or literal_none:
+                return (
+                    f"{qual}() without a seed is entropy-seeded and never "
+                    f"replayable; thread a seed (repro.utils.rng.ensure_rng)"
+                )
+            return None
+        if qual.startswith("numpy.random."):
+            name = qual.rsplit(".", 1)[1]
+            if name in _NUMPY_GLOBAL_DRAWS:
+                return (
+                    f"{qual} draws from numpy's process-global RNG state; "
+                    f"use an explicitly seeded Generator instead"
+                )
+        if qual.startswith("random."):
+            name = qual.rsplit(".", 1)[1]
+            if name in _STDLIB_GLOBAL_DRAWS:
+                return (
+                    f"{qual} draws from the stdlib's process-global RNG "
+                    f"state; use a seeded random.Random or numpy Generator"
+                )
+        return None

@@ -1,0 +1,187 @@
+"""The ``python -m repro.analysis`` command line.
+
+Exit codes: 0 = clean against the baseline, 1 = new findings (or
+``--strict`` with any finding at all), 2 = usage error.  The JSON report
+(``--format json``) carries every finding plus the new-vs-baseline
+split, and is what CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.runner import (
+    baseline_payload,
+    build_checkers,
+    diff_baseline,
+    load_baseline,
+    run_analysis,
+)
+
+DEFAULT_BASELINE = Path("scripts") / "analysis_baseline.json"
+#: Directories analysed when no paths are given (relative to --root).
+DEFAULT_PATHS = (Path("src"), Path("scripts") / "ci")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: project-specific AST invariant checks for the "
+            "serving stack (lock discipline, error taxonomy, async "
+            "blocking, resource lifecycle, wire completeness, "
+            "determinism)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to analyse (default: src/ and scripts/ci/ "
+             "under --root)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(),
+        help="repository root findings are reported relative to "
+             "(default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file grandfathering known findings (default: "
+             "<root>/scripts/analysis_baseline.json when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept the current findings, then "
+             "exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on every finding, baseline included",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its description and exit",
+    )
+    return parser
+
+
+def _emit(text: str, output: Optional[Path]) -> None:
+    if output is None:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        lines = [
+            f"{checker.name}: {checker.description}"
+            for checker in build_checkers()
+        ]
+        _emit("\n".join(lines), args.output)
+        return 0
+
+    root = args.root.resolve()
+    paths = [p if p.is_absolute() else root / p for p in args.paths]
+    if not paths:
+        paths = [root / p for p in DEFAULT_PATHS if (root / p).exists()]
+    if not paths:
+        parser.error(f"nothing to analyse under {root}")
+
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",")
+                  if name.strip()]
+    try:
+        checkers = build_checkers(select)
+    except ValueError as error:
+        parser.error(str(error))
+
+    findings, files_checked = run_analysis(root, paths, checkers)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / DEFAULT_BASELINE
+        baseline_path = candidate if candidate.is_file() else None
+    elif not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    if args.update_baseline:
+        target = baseline_path or root / DEFAULT_BASELINE
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(baseline_payload(findings), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        _emit(
+            f"baseline updated: {len(findings)} finding(s) recorded in "
+            f"{target}",
+            args.output,
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path) if baseline_path else []
+    new = diff_baseline(findings, baseline)
+    failing = findings if args.strict else new
+
+    if args.format == "json":
+        new_ids = {id(finding) for finding in new}
+        report = {
+            "version": 1,
+            "root": str(root),
+            "files_checked": files_checked,
+            "rules": [checker.name for checker in checkers],
+            "baseline": {
+                "path": str(baseline_path) if baseline_path else None,
+                "entries": len(baseline),
+            },
+            "findings": [
+                {**finding.to_json(), "new": id(finding) in new_ids}
+                for finding in findings
+            ],
+            "new_findings": len(new),
+            "ok": not failing,
+        }
+        _emit(json.dumps(report, indent=2), args.output)
+    else:
+        new_ids = {id(finding) for finding in new}
+        lines = []
+        for finding in findings:
+            marker = "NEW  " if id(finding) in new_ids else "known"
+            lines.append(f"{marker} {finding.render()}")
+        lines.append(
+            f"{files_checked} file(s) checked, {len(findings)} finding(s), "
+            f"{len(new)} new"
+            + (f" (baseline: {len(baseline)} grandfathered)"
+               if baseline else "")
+        )
+        _emit("\n".join(lines), args.output)
+
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

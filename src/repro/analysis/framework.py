@@ -1,0 +1,222 @@
+"""The shared scaffolding every reprolint checker builds on.
+
+A checker is a small class with a ``name`` (the rule id reported in
+findings and used by ``--select`` and pragma suppression), a one-line
+``description`` (shown by ``--list-rules`` and in the README), and a
+``scope`` — path parts a module's repo-relative path must contain for the
+rule to apply (``("serve",)`` limits a rule to the serving stack; the
+empty tuple means everywhere).  The runner parses each module once,
+hands every applicable checker a :class:`ModuleContext`, and collects
+:class:`Finding` objects; checkers that need cross-file state (the wire
+codec completeness rule) accumulate it in ``check_module`` and emit from
+``finalize`` after the walk.
+
+Suppression is by pragma comment on the offending line::
+
+    except Exception:  # reprolint: ignore[error-taxonomy]
+    conn = connect()   # reprolint: ignore -- release is the caller's job
+
+A bare ``ignore`` silences every rule on that line; ``ignore[a, b]``
+silences only the named rules.  Baseline grandfathering (see
+:mod:`repro.analysis.runner`) fingerprints findings without the line
+number, so unrelated edits moving a grandfathered finding up or down a
+file do not resurface it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: ``# reprolint: ignore`` or ``# reprolint: ignore[rule-a, rule-b]``,
+#: optionally followed by ``-- free-text reason``.
+_PRAGMA = re.compile(r"#\s*reprolint:\s*ignore(?:\[([^\]]*)\])?")
+
+#: Matches every rule (a bare ``ignore`` pragma).
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative POSIX path (what reports and baselines show)
+    line: int
+    col: int
+    symbol: str  # nearest enclosing class/function, "" at module level
+    message: str
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Identity for baseline matching — deliberately line-free, so a
+        grandfathered finding survives unrelated edits above it."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        who = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule}{who}: {self.message}"
+
+
+def parse_pragmas(source: str) -> dict[int, set]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    pragmas: dict[int, set] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            pragmas[lineno] = {ALL_RULES}
+        else:
+            pragmas[lineno] = {
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            }
+    return pragmas
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module, as every checker sees it."""
+
+    path: Path
+    display_path: str  # repo-relative POSIX form used in findings
+    tree: ast.Module
+    pragmas: dict[int, set] = field(default_factory=dict)
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        symbol: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            symbol=symbol,
+            message=message,
+        )
+
+
+class Checker:
+    """Base class: one rule, checked module-by-module.
+
+    Subclasses override ``check_module`` (and ``finalize`` for cross-file
+    rules).  Checker instances are single-use: the runner constructs a
+    fresh set per analysis run, so cross-file state needs no reset hook.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Path parts a module's display path must contain for this rule to
+    #: apply; empty means every module.
+    scope: tuple = ()
+
+    def applies_to(self, display_path: str) -> bool:
+        parts = display_path.split("/")
+        return all(required in parts for required in self.scope)
+
+    def check_module(self, ctx: ModuleContext) -> list:
+        return []
+
+    def finalize(self) -> list:
+        """Findings that need the whole project walked first."""
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Small AST utilities shared by the checkers
+# ---------------------------------------------------------------------------
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted import path, for resolving call targets.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from queue import
+    Queue`` maps ``Queue -> queue.Queue``.  Plain ``import a.b`` binds the
+    top-level name ``a`` only, mirroring Python's own binding rule.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    table[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                table[bound] = f"{module}.{alias.name}" if module else alias.name
+    return table
+
+
+def resolve_call(func: ast.AST, table: dict[str, str]) -> Optional[str]:
+    """Dotted path of a call target through the module's imports, or
+    ``None`` when the base name is not import-bound (a local)."""
+    parts = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = table.get(node.id)
+    if base is None:
+        return None
+    if parts:
+        return base + "." + ".".join(reversed(parts))
+    return base
+
+
+def walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Descendants of ``root`` without entering nested function/class
+    definitions (or lambdas) — those are scopes of their own."""
+    pending = list(ast.iter_child_nodes(root))
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def self_attribute_root(expr: ast.AST, aliases: dict[str, str]) -> Optional[str]:
+    """The instance attribute an expression chain is rooted in.
+
+    ``self._entries[key]`` -> ``_entries``; ``member.routed`` where
+    ``member`` aliases ``self._members[i]`` -> ``_members``; anything not
+    rooted in ``self`` (directly or through ``aliases``) -> ``None``.
+    """
+    trail = []
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            trail.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    if node.id == "self":
+        return trail[-1] if trail else None
+    return aliases.get(node.id)

@@ -1,0 +1,187 @@
+"""Walk, parse, check, suppress, and diff against the baseline.
+
+:func:`run_analysis` is the whole pipeline short of I/O formatting: it
+walks the requested paths for ``.py`` files, parses each once, runs
+every in-scope checker, applies pragma suppression (including to
+``finalize`` findings, which anchor to lines in modules walked earlier),
+and returns findings sorted by location.  :func:`diff_baseline` then
+splits them into grandfathered and *new* relative to a committed
+baseline — the CI gate fails on new findings only, so adopting a checker
+never requires fixing every historic finding at once.
+
+Baseline fingerprints are line-free (rule, path, symbol, message) and
+compared as a multiset: two identical grandfathered findings in one
+function stay grandfathered, but a third occurrence is new.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.framework import (
+    ALL_RULES,
+    Checker,
+    Finding,
+    ModuleContext,
+    parse_pragmas,
+)
+
+BASELINE_VERSION = 1
+#: Pseudo-rule reported when a file cannot be parsed at all.
+PARSE_ERROR_RULE = "parse-error"
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files accepted verbatim),
+    skipping hidden directories and ``__pycache__``."""
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py" and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part == "__pycache__" or part.startswith(".")
+                   for part in candidate.relative_to(path).parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def build_checkers(select: Optional[Iterable[str]] = None) -> list:
+    """Fresh checker instances, optionally filtered by rule name."""
+    wanted = None if select is None else set(select)
+    checkers = [cls() for cls in ALL_CHECKERS]
+    if wanted is None:
+        return checkers
+    known = {checker.name for checker in checkers}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s): {', '.join(sorted(unknown))}; "
+            f"known rules: {', '.join(sorted(known))}"
+        )
+    return [checker for checker in checkers if checker.name in wanted]
+
+
+def run_analysis(
+    root: Path,
+    paths: Sequence[Path],
+    checkers: Optional[Sequence[Checker]] = None,
+) -> tuple[list, int]:
+    """Analyse every module under ``paths``.
+
+    Returns ``(findings, files_checked)`` with pragma suppression already
+    applied and findings sorted by (path, line, rule).
+    """
+    if checkers is None:
+        checkers = build_checkers()
+    pragma_maps: dict[str, dict] = {}
+    findings: list = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        shown = display_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            findings.append(Finding(
+                rule=PARSE_ERROR_RULE,
+                path=shown,
+                line=getattr(error, "lineno", 0) or 0,
+                col=getattr(error, "offset", 0) or 0,
+                symbol="",
+                message=f"cannot analyse: {error}",
+            ))
+            continue
+        ctx = ModuleContext(
+            path=path,
+            display_path=shown,
+            tree=tree,
+            pragmas=parse_pragmas(source),
+        )
+        pragma_maps[shown] = ctx.pragmas
+        for checker in checkers:
+            if checker.applies_to(shown):
+                findings.extend(checker.check_module(ctx))
+    for checker in checkers:
+        findings.extend(checker.finalize())
+    findings = [
+        finding for finding in findings
+        if not _suppressed(finding, pragma_maps)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings, files_checked
+
+
+def _suppressed(finding: Finding, pragma_maps: dict) -> bool:
+    pragmas = pragma_maps.get(finding.path, {})
+    rules = pragmas.get(finding.line, ())
+    return ALL_RULES in rules or finding.rule in rules
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: Path) -> list:
+    """Fingerprints recorded in a baseline file (empty if absent)."""
+    if not path.is_file():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path} is not a reprolint baseline file")
+    entries = []
+    for entry in payload["findings"]:
+        entries.append((
+            entry["rule"], entry["path"], entry.get("symbol", ""),
+            entry["message"],
+        ))
+    return entries
+
+
+def diff_baseline(findings: Sequence[Finding],
+                  baseline: Sequence[tuple]) -> list:
+    """The findings not covered by the baseline (multiset semantics)."""
+    budget = Counter(baseline)
+    new = []
+    for finding in findings:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+        else:
+            new.append(finding)
+    return new
+
+
+def baseline_payload(findings: Sequence[Finding]) -> dict:
+    """The committed-baseline form of a finding set (line-free, sorted,
+    so the file diffs cleanly)."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+        for finding in findings
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["symbol"],
+                                e["message"]))
+    return {"version": BASELINE_VERSION, "findings": entries}

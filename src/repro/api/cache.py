@@ -85,7 +85,7 @@ class LRUCache:
     the cache.
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize

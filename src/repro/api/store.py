@@ -88,7 +88,7 @@ class ArtifactStore:
     >>> store.open("flights").select(k=5, l=5)          # doctest: +SKIP
     """
 
-    def __init__(self, root: "str | Path"):
+    def __init__(self, root: "str | Path") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()

@@ -363,7 +363,7 @@ class _ReplyCollector:
 
     __slots__ = ("slots", "failure", "done", "_remaining", "_lock")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self.slots: list = [None] * size
         self.failure: Optional[TransportError] = None
         self.done = threading.Event()

@@ -86,7 +86,7 @@ class BaseBackend:
 
     kind = "backend"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._served = 0
         self._errors = 0
         self._seconds = 0.0
@@ -148,7 +148,7 @@ class InProcessBackend(BaseBackend):
 
     kind = "inproc"
 
-    def __init__(self, host: "Engine | Workspace"):
+    def __init__(self, host: "Engine | Workspace") -> None:
         super().__init__()
         if not hasattr(host, "select"):
             raise TypeError(
@@ -191,7 +191,16 @@ class InProcessBackend(BaseBackend):
         for request in requests:
             try:
                 entries.append(self.host.select(request))
+            except BackendError:
+                # The host itself is unusable (not a per-request fault):
+                # that is failover-grade and must not be buried in a slot
+                # where raise_on_error=False would hide it from a router.
+                raise
             except Exception as error:
+                # Everything else an in-process host raises is
+                # request-shaped (validation, degenerate query state) and
+                # keeps its original type in the request's slot, matching
+                # what a bare Engine.select would have raised.
                 entries.append(error)
         self._account(entries, time.perf_counter() - start)
         return self._finish(entries, raise_on_error)

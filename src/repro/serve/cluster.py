@@ -49,7 +49,7 @@ from typing import Any, Optional, Sequence
 from repro.api.cache import stable_hash64
 from repro.api.request import SelectionRequest, SelectionResponse
 from repro.serve.backend import BaseBackend
-from repro.serve.errors import BackendError, ClusterError
+from repro.serve.errors import BackendError, ClusterError, RequestError
 
 DEFAULT_VNODES = 64
 
@@ -127,7 +127,7 @@ class RoundRobinPolicy(ReplicaPolicy):
 
     name = "round_robin"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._cursors: dict = {}
 
@@ -336,8 +336,9 @@ class ClusterRouter(BaseBackend):
     def revive(self) -> None:
         """Forget suspicions; every member routes again (e.g. after an
         operator restarted a host)."""
-        for member in self._members:
-            member.dead = False
+        with self._suspect_lock:
+            for member in self._members:
+                member.dead = False
 
     # -- serving -------------------------------------------------------------
     def _serve_with_failover(self, request: SelectionRequest,
@@ -365,8 +366,9 @@ class ClusterRouter(BaseBackend):
         attempts = []
         for index in order:
             member = self._members[index]
-            member.routed += 1
-            self._begin_inflight(index)
+            with self._suspect_lock:
+                member.routed += 1
+                member.inflight += 1
             try:
                 response = member.backend.select(request)
             except BackendError as error:
@@ -375,12 +377,12 @@ class ClusterRouter(BaseBackend):
                 continue
             finally:
                 self._end_inflight(index)
-            member.dead = False  # served fine: clear any stale suspicion
-            member.served += 1
-            if attempts or prior_failure:
-                # This request was actually re-served after a member
-                # failure — that, and only that, is a failover.
-                with self._suspect_lock:
+            with self._suspect_lock:
+                member.dead = False  # served fine: clear any stale suspicion
+                member.served += 1
+                if attempts or prior_failure:
+                    # This request was actually re-served after a member
+                    # failure — that, and only that, is a failover.
                     self._failovers += 1
             return response
         raise ClusterError(
@@ -414,8 +416,9 @@ class ClusterRouter(BaseBackend):
         """
         member = self._members[index]
         requests = [request for _, request in numbered]
-        member.routed += len(requests)
-        self._begin_inflight(index, len(requests))
+        with self._suspect_lock:
+            member.routed += len(requests)
+            member.inflight += len(requests)
         try:
             entries = member.backend.select_many(requests, raise_on_error=False)
         except BackendError as error:
@@ -424,16 +427,20 @@ class ClusterRouter(BaseBackend):
         else:
             backend_errors = [e for e in entries
                               if isinstance(e, BackendError)]
+            served = sum(
+                1 for e in entries if isinstance(e, SelectionResponse)
+            )
             if backend_errors:
                 # A nested router reports member-level failure as entries
                 # rather than raising; that still means this member could
                 # not serve — suspect it, don't bless it.
                 self._mark_failed(index, backend_errors[0])
+                with self._suspect_lock:
+                    member.served += served
             else:
-                member.dead = False
-            member.served += sum(
-                1 for e in entries if isinstance(e, SelectionResponse)
-            )
+                with self._suspect_lock:
+                    member.dead = False
+                    member.served += served
         finally:
             self._end_inflight(index, len(requests))
         return [(position, entry)
@@ -489,7 +496,16 @@ class ClusterRouter(BaseBackend):
                         requests[position], prior_failure=True,
                         skip_dead=True, point=points[position],
                     )
+                except (BackendError, RequestError) as fail:
+                    # Typed serving failures (ClusterError: every replica
+                    # failed; RequestError: fails on every replica) fill
+                    # the request's slot for the raise_on_error contract.
+                    entries[position] = fail
                 except Exception as fail:
+                    # Request-level failures from in-process members keep
+                    # their original type (ValueError, KeyError, ...) so
+                    # raise_on_error=True re-raises exactly what a bare
+                    # engine would have raised.
                     entries[position] = fail
         self._account(entries, time.perf_counter() - start)
         return self._finish(entries, raise_on_error)
@@ -532,8 +548,8 @@ class ClusterRouter(BaseBackend):
             for member in self._members:
                 try:
                     member.backend.close()
-                except Exception:
-                    pass
+                except (BackendError, OSError):
+                    pass  # a dead member cannot refuse to be closed
         super().close()
 
     def __repr__(self) -> str:

@@ -70,7 +70,7 @@ class PoolWorkerDied(PoolError):
 class PoolRequestError(RequestError):
     """A request failed inside a pool worker; carries the worker-side text."""
 
-    def __init__(self, index: int, worker: int, message: str):
+    def __init__(self, index: int, worker: int, message: str) -> None:
         super().__init__(
             f"request #{index} failed in pool worker {worker}: {message}"
         )

@@ -114,7 +114,9 @@ def _pool_worker(
             algorithm=algorithm,
         )
         result_queue.put((_READY, worker_id, time.perf_counter() - start))
-    except Exception as error:  # surfaced by start() as PoolError
+    # Crossing a process boundary: the failure text travels over the
+    # result queue and start() re-wraps it as a typed PoolError.
+    except Exception as error:  # reprolint: ignore[error-taxonomy]
         result_queue.put((_ERROR, worker_id, -1,
                           f"{type(error).__name__}: {error}"))
         return
@@ -128,7 +130,9 @@ def _pool_worker(
                 request = SelectionRequest.from_json(payload)
                 response = engine.select(request)
                 result_queue.put((_OK, worker_id, index, response.to_json()))
-            except Exception as error:
+            # Crossing a process boundary: the drain loop re-wraps the
+            # failure text as a typed PoolRequestError for that slot.
+            except Exception as error:  # reprolint: ignore[error-taxonomy]
                 result_queue.put((_ERROR, worker_id, index,
                                   f"{type(error).__name__}: {error}"))
     except BaseException:
@@ -139,8 +143,8 @@ def _pool_worker(
         try:
             result_queue.put((_DIED, worker_id, -1,
                               traceback_module.format_exc()))
-        except Exception:
-            pass
+        except (OSError, ValueError):
+            pass  # the queue is already gone; the exit code must speak
         raise
 
 
@@ -273,8 +277,8 @@ class EnginePool:
             for _ in range(workers_on_queue):
                 try:
                     queue.put(None)
-                except Exception:
-                    pass
+                except (OSError, ValueError):
+                    pass  # queue already closed: the join/terminate below wins
         for process in self._processes:
             process.join(timeout=5.0)
             if process.is_alive():

@@ -165,7 +165,7 @@ class BackendDispatcher:
     comes from running many server *processes*, not many threads in one.
     """
 
-    def __init__(self, backend):
+    def __init__(self, backend) -> None:
         self.backend = backend
         self._lock = threading.Lock()
 
@@ -552,7 +552,9 @@ def _server_process_main(
         else:
             server = SocketServer(backend, host=host, port=port,
                                   own_backend=True)
-    except Exception as error:
+    # Crossing a process boundary: the failure text travels back over the
+    # pipe and spawn_artifact_server re-wraps it as a typed TransportError.
+    except Exception as error:  # reprolint: ignore[error-taxonomy]
         conn.send(("error", f"{type(error).__name__}: {error}"))
         conn.close()
         return
@@ -569,7 +571,7 @@ def _server_process_main(
 class SpawnedServer:
     """Handle on a socket server running in a child process."""
 
-    def __init__(self, process, host: str, port: int):
+    def __init__(self, process, host: str, port: int) -> None:
         self.process = process
         self.host = host
         self.port = port

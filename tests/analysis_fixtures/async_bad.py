@@ -1,0 +1,29 @@
+"""async-blocking fixtures: blocking calls inside coroutines
+(deliberate violations)."""
+
+import queue
+import socket
+import time
+
+jobs = queue.Queue()
+
+
+async def sleepy():
+    time.sleep(0.1)  # BAD: blocks the loop
+
+
+async def dialer(host):
+    return socket.create_connection((host, 80))  # BAD: sync connect
+
+
+async def reader(sock):
+    return sock.recv(1024)  # BAD: sync socket read
+
+
+async def loader(path):
+    with open(path) as handle:  # BAD: file I/O in a coroutine
+        return handle.read()
+
+
+async def consumer():
+    return jobs.get()  # BAD: sync queue.Queue.get

@@ -1,0 +1,32 @@
+"""async-blocking fixtures: the asyncio-native forms that must stay
+clean."""
+
+import asyncio
+
+events = asyncio.Queue()
+
+
+async def sleepy():
+    await asyncio.sleep(0.1)  # awaited async sleep is the fix
+
+
+async def consumer():
+    return await events.get()  # asyncio.Queue is the async queue
+
+
+async def producer(item):
+    await events.put(item)
+
+
+def sync_helper(sock):
+    # Synchronous code may block freely — only coroutines are checked.
+    return sock.recv(1024)
+
+
+async def delegating():
+    def blocking_inner(path):
+        # A nested *sync* def is its own scope, not coroutine code.
+        with open(path) as handle:
+            return handle.read()
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, blocking_inner, "x")

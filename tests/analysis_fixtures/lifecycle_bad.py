@@ -1,0 +1,27 @@
+"""resource-lifecycle fixtures: leaked constructions (deliberate
+violations)."""
+
+
+class Server:
+    def close(self):
+        pass
+
+
+class Worker:
+    def stop(self):
+        pass
+
+
+def drop_on_floor():
+    Server()  # BAD: constructed and immediately dropped
+
+
+def bind_and_forget(host):
+    server = Server()  # BAD: bound but never closed or handed off
+    print(host)
+    return 42
+
+
+def forget_worker():
+    worker = Worker()  # BAD: `start` is not a release method
+    worker.start()

@@ -1,0 +1,52 @@
+"""resource-lifecycle fixtures: every sanctioned ownership shape."""
+
+from contextlib import closing
+
+
+class Server:
+    def close(self):
+        pass
+
+
+class Registry:
+    def __init__(self):
+        self.server = Server()  # attribute store: the instance owns it
+
+    def close(self):
+        self.server.close()
+
+
+def with_block():
+    with Server() as server:
+        return server
+
+
+def with_closing():
+    with closing(Server()) as server:
+        return server
+
+
+def try_finally():
+    server = Server()
+    try:
+        return 1
+    finally:
+        server.close()
+
+
+def factory():
+    return Server()  # returned: the caller owns it
+
+
+def handed_off(registry):
+    server = Server()
+    registry.adopt(server)  # passed as an argument: ownership moved
+
+
+def pooled():
+    return [Server() for _ in range(3)]  # container the caller owns
+
+
+def stopped():
+    server = Server()
+    server.stop()

@@ -1,0 +1,43 @@
+"""lock-discipline fixtures: every mutation here that touches guarded
+state outside the lock must be flagged (deliberate violations)."""
+
+import threading
+
+
+class RacyCounter:
+    """Guards `count` in bump(), then races it in reset()."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0  # BAD: guarded attribute mutated without the lock
+
+
+class RacyRegistry:
+    """Mutation through an alias and a container method, outside the lock."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries = {}
+        self._members = []
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def evict(self, key):
+        self._entries.pop(key, None)  # BAD: container method, no lock
+
+    def adopt(self, member):
+        with self._lock:
+            self._members.append(member)
+
+    def mark_all(self):
+        for member in self._members:
+            member.dead = True  # BAD: element mutation aliases _members

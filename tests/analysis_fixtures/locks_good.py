@@ -1,0 +1,46 @@
+"""lock-discipline fixtures: disciplined classes that must stay clean."""
+
+import threading
+
+
+class DisciplinedCounter:
+    """Every post-__init__ mutation of guarded state holds the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.label = "counter"  # __init__ is exempt: not yet shared
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        with self._lock:
+            self.count = 0
+
+    def read(self):
+        return self.count  # reads are not mutations
+
+
+class UnlockedScratch:
+    """No lock at all: nothing is guarded, nothing is flagged."""
+
+    def __init__(self):
+        self.items = []
+
+    def add(self, item):
+        self.items.append(item)
+
+
+class AliasDiscipline:
+    """Alias mutations under the lock are recognised as guarded."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._members = []
+
+    def mark_all(self):
+        with self._lock:
+            for member in self._members:
+                member.dead = True

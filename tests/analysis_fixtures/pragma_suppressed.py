@@ -1,0 +1,27 @@
+"""Pragma fixtures: every violation here is suppressed in-line and must
+produce no findings."""
+
+import threading
+
+
+class AcknowledgedRace:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset_before_sharing(self):
+        self.count = 0  # reprolint: ignore -- single-threaded setup, reviewed
+
+
+class Conn:
+    def close(self):
+        pass
+
+
+def factory_contract():
+    conn = Conn()  # reprolint: ignore[resource-lifecycle] -- caller closes
+    conn.configure()

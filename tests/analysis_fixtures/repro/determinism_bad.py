@@ -1,0 +1,31 @@
+"""determinism fixtures (scoped: path contains `repro`): unseeded and
+process-global randomness (deliberate violations)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def entropy_seeded():
+    return default_rng()  # BAD: no seed
+
+
+def explicit_none():
+    return np.random.default_rng(None)  # BAD: literal-None seed
+
+
+def legacy_state():
+    return np.random.randint(0, 10)  # BAD: numpy global state
+
+
+def global_seeding():
+    np.random.seed(7)  # BAD: seeding global state is still global state
+
+
+def stdlib_global():
+    return random.choice([1, 2, 3])  # BAD: stdlib global state
+
+
+def stdlib_unseeded():
+    return random.Random()  # BAD: entropy-seeded Random

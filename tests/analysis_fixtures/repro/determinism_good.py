@@ -1,0 +1,27 @@
+"""determinism fixtures: explicitly seeded generators that must stay
+clean."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded(seed):
+    return default_rng(seed)  # seed threaded through: replayable
+
+
+def seeded_literal():
+    return np.random.default_rng(12345)
+
+
+def spawned(rng):
+    return rng.integers(0, 10)  # drawing from a passed-in Generator
+
+
+def stdlib_seeded(seed):
+    return random.Random(seed)
+
+
+def legacy_seeded():
+    return np.random.RandomState(7)  # seeded legacy object (not global)

@@ -1,0 +1,32 @@
+"""error-taxonomy fixtures (scoped: path contains `serve`): untyped
+raises and swallowing broad handlers (deliberate violations)."""
+
+
+def fail_untyped():
+    raise Exception("something broke")  # BAD: untyped raise
+
+
+def fail_runtime(flag):
+    if flag:
+        raise RuntimeError("also untyped")  # BAD: untyped raise
+
+
+def swallow(callback):
+    try:
+        return callback()
+    except Exception:  # BAD: neither re-raises nor re-wraps
+        return None
+
+
+def swallow_bare(callback):
+    try:
+        return callback()
+    except:  # noqa: E722  BAD: bare except, swallowed
+        return None
+
+
+def swallow_tuple(callback):
+    try:
+        return callback()
+    except (ValueError, Exception):  # BAD: broad via the tuple
+        return None

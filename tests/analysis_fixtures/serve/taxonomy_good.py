@@ -1,0 +1,53 @@
+"""error-taxonomy fixtures: the sanctioned shapes that must stay clean."""
+
+
+class BackendError(Exception):
+    pass
+
+
+class RequestError(Exception):
+    pass
+
+
+def typed_raise():
+    raise BackendError("the backend is unusable")  # typed: fine
+
+
+def rewrap(callback):
+    try:
+        return callback()
+    except Exception as error:
+        # Re-wrapping into the taxonomy preserves the failover signal.
+        raise BackendError(str(error)) from error
+
+
+def log_and_reraise(callback, log):
+    try:
+        return callback()
+    except Exception:
+        log.append("failed")
+        raise  # re-raise keeps the type
+
+
+def typed_first_broad_last(callback):
+    try:
+        return callback()
+    except RequestError:
+        return None  # typed clause claims its case first...
+    except Exception:
+        return -1  # ...so the trailing catch-all is sanctioned
+
+
+def wire_reply(callback):
+    try:
+        return {"kind": "response", "payload": callback()}
+    except Exception as error:
+        # The socket servers serialize the taxonomy as a reply dict.
+        return {"kind": "request_error", "message": str(error)}
+
+
+def narrow(callback):
+    try:
+        return callback()
+    except (ValueError, KeyError):
+        return None  # narrow handlers are always fine

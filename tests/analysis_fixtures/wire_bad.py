@@ -1,0 +1,22 @@
+"""wire-completeness fixtures: codec drift (deliberate violations)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DriftedMessage:
+    """`retries` never crosses the wire; `extra` has no field."""
+
+    payload: str
+    retries: int
+
+    def to_wire(self):
+        return {
+            "format": "drifted-message",
+            "wire_version": 1,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_wire(cls, wire):
+        return cls(payload=wire["payload"], retries=int(wire.get("extra", 0)))

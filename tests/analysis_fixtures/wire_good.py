@@ -1,0 +1,37 @@
+"""wire-completeness fixtures: complete codecs that must stay clean."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompleteMessage:
+    """Every field appears in both codec directions; envelope keys and
+    nested payload dicts are exempt."""
+
+    payload: str
+    attempts: int
+    meta: dict = field(default_factory=dict)
+
+    def to_wire(self):
+        return {
+            "format": "complete-message",
+            "wire_version": 1,
+            "payload": self.payload,
+            "attempts": self.attempts,
+            "meta": {"schema": "nested-keys-are-not-fields"},
+        }
+
+    @classmethod
+    def from_wire(cls, wire):
+        return cls(
+            payload=wire["payload"],
+            attempts=wire["attempts"],
+            meta=dict(wire.get("meta", {})),
+        )
+
+
+@dataclass
+class NoCodec:
+    """Dataclasses without a to_wire/from_wire pair are not checked."""
+
+    anything: str
