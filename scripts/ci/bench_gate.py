@@ -8,6 +8,12 @@ gate — CI runners are noisy, so the tolerance is wide; a genuine
 serving-path regression (a lost cache, a serialized drain, a broken
 pipeline) blows through it anyway.
 
+Latency records gate in the opposite direction: a fresh p99 more than
+``--latency-tolerance`` (default 1.5x, i.e. 2.5x the committed value)
+*above* its committed counterpart fails.  Tail latency needs samples to
+mean anything, so a p99 backed by fewer than ``--min-samples``
+observations (on either side) is reported but never gated.
+
 Runs in CI after the benchmark steps, and locally:
 ``python scripts/ci/bench_gate.py``.
 """
@@ -34,22 +40,64 @@ def _headline_qps(record: dict) -> dict:
         biggest = max(members, key=int)
         return {f"cluster_x{biggest}": members[biggest]["qps"]}
     if experiment == "async_qps":
-        return {
+        figures = {
             "pipelined": record["pipelined_client"]["qps"],
             "replica_round_robin": record["replica_round_robin"]["qps"],
         }
+        if record.get("replica_hash"):
+            figures["replica_hash"] = record["replica_hash"]["qps"]
+        return figures
+    if experiment == "loadgen":
+        knee = record.get("knee")
+        if not knee:
+            return {}
+        return {"knee_achieved": knee["achieved_qps"]}
     raise ValueError(f"no QPS extraction for experiment {experiment!r}")
 
 
-def compare(reference_path: Path, fresh_path: Path, tolerance: float) -> list:
-    """``(label, committed, fresh, ok)`` rows for one record pair."""
-    committed = _headline_qps(json.loads(reference_path.read_text()))
-    fresh = _headline_qps(json.loads(fresh_path.read_text()))
+def _headline_p99(record: dict) -> dict:
+    """``{label: (p99_seconds, sample_count)}`` latency figures of one
+    bench record (empty for experiments without latency headlines)."""
+    if record.get("experiment") != "loadgen":
+        return {}
+    knee = record.get("knee")
+    if not knee:
+        return {}
+    latency = knee.get("latency", {})
+    if "p99" not in latency:
+        return {}
+    return {"knee_p99": (latency["p99"], latency.get("count", 0))}
+
+
+def compare(reference_path: Path, fresh_path: Path, tolerance: float,
+            latency_tolerance: float = 1.5, min_samples: int = 50) -> list:
+    """``(label, committed, fresh, ok)`` rows for one record pair.
+
+    QPS rows fail when fresh drops more than ``tolerance`` below
+    committed; latency (p99) rows fail when fresh rises more than
+    ``latency_tolerance`` above committed — unless either side's
+    histogram holds fewer than ``min_samples`` observations, in which
+    case the row passes unconditionally (a tail estimated from a
+    handful of samples gates nothing).
+    """
+    committed_record = json.loads(reference_path.read_text())
+    fresh_record = json.loads(fresh_path.read_text())
+    committed = _headline_qps(committed_record)
+    fresh = _headline_qps(fresh_record)
     rows = []
     for label, committed_qps in committed.items():
         fresh_qps = fresh.get(label, 0.0)
         ok = fresh_qps >= (1.0 - tolerance) * committed_qps
         rows.append((label, committed_qps, fresh_qps, ok))
+    fresh_p99 = _headline_p99(fresh_record)
+    for label, (committed_value, committed_n) in \
+            _headline_p99(committed_record).items():
+        fresh_value, fresh_n = fresh_p99.get(label, (0.0, 0))
+        enough = committed_n >= min_samples and fresh_n >= min_samples
+        ok = (not enough) or (
+            fresh_value <= (1.0 + latency_tolerance) * committed_value
+        )
+        rows.append((f"{label}[s]", committed_value, fresh_value, ok))
     return rows
 
 
@@ -58,6 +106,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.40,
                         help="allowed fractional QPS regression "
                              "(default: 0.40)")
+    parser.add_argument("--latency-tolerance", type=float, default=1.5,
+                        help="allowed fractional p99 latency increase "
+                             "(default: 1.5, i.e. fresh <= 2.5x committed)")
+    parser.add_argument("--min-samples", type=int, default=50,
+                        help="minimum histogram sample count before a p99 "
+                             "record gates (default: 50)")
     parser.add_argument("--out-dir", type=Path, default=DEFAULT_OUT_DIR,
                         help="directory of fresh bench records")
     parser.add_argument("--reference-dir", type=Path, default=REPO_ROOT,
@@ -87,15 +141,18 @@ def main(argv=None) -> int:
             failures += 1
             continue
         for label, committed, measured, ok in compare(
-            reference, fresh, args.tolerance
+            reference, fresh, args.tolerance,
+            latency_tolerance=args.latency_tolerance,
+            min_samples=args.min_samples,
         ):
             verdict = "ok" if ok else "FAIL"
+            unit = "s  " if label.endswith("[s]") else "QPS"
             print(f"bench gate: {verdict:4s} {reference.name} [{label}] "
-                  f"committed {committed:8.1f} QPS  fresh {measured:8.1f} "
-                  f"QPS  ({measured / committed:5.1%})"
+                  f"committed {committed:8.3f} {unit}  fresh "
+                  f"{measured:8.3f} {unit}  ({measured / committed:5.1%})"
                   if committed else
                   f"bench gate: {verdict:4s} {reference.name} [{label}] "
-                  f"committed 0 QPS")
+                  f"committed 0 {unit}")
             if not ok:
                 failures += 1
     if failures:

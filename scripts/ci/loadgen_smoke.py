@@ -1,0 +1,75 @@
+"""Load-harness smoke: a short open-loop run against a live async server.
+
+Backgrounds ``serve --transport asyncio`` on an OS-assigned port, builds
+a small seeded open-loop schedule (built twice — the fingerprints must
+match, which is the reproducibility contract behind the committed
+``BENCH_loadgen.json``), and drives it through a tracing pipelined
+client.  The gate: every scheduled session completes, zero backend
+errors (generated degenerate states may be *rejected*; that is workload
+shape, not a serving failure), and the trace envelope came back across
+the socket hop with server-side stage timings.  Runs in CI and locally:
+``python scripts/ci/loadgen_smoke.py``.
+"""
+
+from smoke_common import BackgroundServer, ensure_artifact
+
+
+def main() -> int:
+    artifact = ensure_artifact()
+
+    from repro.api.artifacts import load_artifact
+    from repro.loadgen import build_schedule, run_open_loop, sample_sessions
+    from repro.serve import AsyncRemoteBackend
+
+    loaded = load_artifact(artifact)
+    sessions = sample_sessions(loaded.binned, dataset=None, n_sessions=4,
+                               seed=0, k=4, l=4)
+    kwargs = dict(seed=11, arrival_rate=40.0, n_sessions=12,
+                  mean_think_seconds=0.002)
+    schedule = build_schedule({"": sessions}, **kwargs)
+    rebuilt = build_schedule({"": sessions}, **kwargs)
+    assert schedule.fingerprint() == rebuilt.fingerprint(), \
+        "same seed must rebuild the identical schedule"
+
+    with BackgroundServer(artifact, transport="asyncio") as server:
+        backend = AsyncRemoteBackend(server.address, trace=True)
+        try:
+            report = run_open_loop(backend, schedule, max_sessions=16)
+            trace = backend.last_trace
+            client_metrics = backend.metrics.snapshot()
+        finally:
+            backend.close()
+
+    assert report.completed_sessions == schedule.n_sessions, (
+        f"only {report.completed_sessions}/{schedule.n_sessions} sessions "
+        f"completed"
+    )
+    assert report.errors == 0, f"{report.errors} backend error(s)"
+    assert report.completed_requests > 0, "no requests completed"
+    assert report.completed_requests + report.rejected == \
+        schedule.n_requests, "requests went missing from the accounting"
+    assert report.latency["count"] == report.completed_requests
+    assert report.schedule_fingerprint == schedule.fingerprint()
+
+    assert trace is not None and trace["id"], "no trace came back"
+    stages = {stage["stage"] for stage in trace["stages"]}
+    assert {"server", "backend", "transport"} <= stages, (
+        f"trace stages incomplete across the socket hop: {sorted(stages)}"
+    )
+    # Every request that reached the server — including rejected
+    # degenerate ones — came back with a traced server stage.
+    assert client_metrics["trace.server"]["count"] == \
+        report.completed_requests + report.rejected
+
+    print(f"loadgen smoke: {report.completed_sessions} sessions, "
+          f"{report.completed_requests} requests "
+          f"({report.rejected} degenerate rejections), 0 errors, "
+          f"p50 {report.latency['p50'] * 1e3:.1f}ms "
+          f"p99 {report.latency['p99'] * 1e3:.1f}ms, "
+          f"trace {trace['id']} crossed the hop with "
+          f"{len(trace['stages'])} stages")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

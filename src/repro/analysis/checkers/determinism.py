@@ -21,6 +21,14 @@ Flagged in modules whose path contains ``repro``:
   module functions (``random.random``, ``.choice``, ``.seed``, ...) —
   even seeded, global state is shared across the process and not
   replayable per-request.
+
+**Strict mode** for ``src/repro/loadgen/``: there, even
+``repro.utils.rng.ensure_rng()`` with no argument (or a literal
+``None``) is flagged.  ``ensure_rng(None)`` deliberately falls back to
+fresh entropy — acceptable for exploratory callers, but a load
+schedule must be a pure function of its seed (the committed
+``BENCH_loadgen.json`` embeds the schedule fingerprint as proof), so
+the entropy loophole is closed for that package.
 """
 
 from __future__ import annotations
@@ -49,6 +57,10 @@ _SEEDABLE_CONSTRUCTORS = {
     "numpy.random.RandomState",
     "random.Random",
 }
+#: In strict scopes these seed-or-entropy helpers must get an explicit seed.
+_STRICT_CONSTRUCTORS = {
+    "repro.utils.rng.ensure_rng",
+}
 
 
 class DeterminismChecker(Checker):
@@ -59,8 +71,14 @@ class DeterminismChecker(Checker):
     )
     scope = ("repro",)
 
+    #: Path parts that put a module in strict mode (see module docstring).
+    strict_parts = ("loadgen",)
+
     def check_module(self, ctx: ModuleContext) -> list:
         imports = import_table(ctx.tree)
+        strict = any(
+            part in ctx.display_path.split("/") for part in self.strict_parts
+        )
         findings = []
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -68,14 +86,16 @@ class DeterminismChecker(Checker):
             qual = resolve_call(node.func, imports)
             if qual is None:
                 continue
-            message = self._violation(qual, node)
+            message = self._violation(qual, node, strict=strict)
             if message is not None:
                 findings.append(ctx.finding(self.name, node, message))
         return findings
 
     @staticmethod
-    def _violation(qual: str, call: ast.Call):
-        if qual in _SEEDABLE_CONSTRUCTORS:
+    def _violation(qual: str, call: ast.Call, strict: bool = False):
+        if qual in _SEEDABLE_CONSTRUCTORS or (
+            strict and qual in _STRICT_CONSTRUCTORS
+        ):
             unseeded = not call.args and not call.keywords
             literal_none = (
                 call.args
@@ -83,6 +103,12 @@ class DeterminismChecker(Checker):
                 and call.args[0].value is None
             )
             if unseeded or literal_none:
+                if qual in _STRICT_CONSTRUCTORS:
+                    return (
+                        f"{qual}(None) falls back to fresh entropy; load "
+                        f"schedules must be pure functions of an explicit "
+                        f"seed (strict determinism scope)"
+                    )
                 return (
                     f"{qual}() without a seed is entropy-seeded and never "
                     f"replayable; thread a seed (repro.utils.rng.ensure_rng)"

@@ -38,6 +38,7 @@ WATCHED_CONSTRUCTORS = {
     "EnginePool", "SocketServer", "AsyncSocketServer", "RemoteBackend",
     "AsyncRemoteBackend", "InProcessBackend", "PoolBackend",
     "ClusterRouter", "artifact_backend", "spawn_artifact_server",
+    "spawn_store_server",
 }
 
 _RELEASE_METHODS = {"close", "stop", "kill", "terminate", "shutdown"}

@@ -24,6 +24,7 @@ from repro.bench.harness import (
 from repro.bench.experiments import (
     AsyncQPSResult,
     ClusterQPSResult,
+    LoadgenResult,
     ParameterTuningResult,
     PoolQPSResult,
     QualityResult,
@@ -34,6 +35,7 @@ from repro.bench.experiments import (
     UserStudyExperimentResult,
     run_async_qps_experiment,
     run_cluster_qps_experiment,
+    run_loadgen_experiment,
     run_parameter_tuning_experiment,
     run_pool_qps_experiment,
     run_quality_experiment,
@@ -50,6 +52,7 @@ __all__ = [
     "BENCH_ROWS",
     "ClusterQPSResult",
     "DatasetBundle",
+    "LoadgenResult",
     "ParameterTuningResult",
     "PoolQPSResult",
     "QualityResult",
@@ -67,6 +70,7 @@ __all__ = [
     "prepare_selectors",
     "run_async_qps_experiment",
     "run_cluster_qps_experiment",
+    "run_loadgen_experiment",
     "run_parameter_tuning_experiment",
     "run_pool_qps_experiment",
     "run_quality_experiment",

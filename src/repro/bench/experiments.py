@@ -1132,6 +1132,228 @@ def run_cluster_qps_experiment(
 
 
 # ---------------------------------------------------------------------------
+# Open-loop load harness — saturation knee over a zipf multi-dataset mix
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoadgenResult:
+    """An open-loop arrival-rate sweep against one multi-dataset server.
+
+    Thousands of simulated analysts (well, ``n_sessions`` of them per
+    rate — the harness scales by knob, not by code path) explore a
+    zipf-skewed dataset mix through a pipelined
+    :class:`~repro.serve.AsyncRemoteBackend`.  Because arrivals are
+    open-loop, raising ``arrival_rate`` past capacity grows queueing
+    delay instead of throttling offered load: ``runs`` records each
+    rate's latency percentiles and achieved/offered ratio, and ``knee``
+    is the highest rate still delivering ≥90% of what was offered.
+
+    ``trace_stages`` carries the client-side p50 of each per-request
+    trace stage (client queue, transport, server, backend, select) and
+    ``trace_example`` one complete trace — both cross a real socket hop,
+    which is the end-to-end proof the telemetry substrate works.
+    """
+
+    datasets: tuple
+    seed: int
+    k: int
+    l: int
+    n_sessions: int
+    sessions_per_dataset: int
+    mean_think_seconds: float
+    zipf_exponent: float
+    window: int
+    cache_size: int
+    fit_seconds: dict = field(default_factory=dict)
+    dataset_mix: dict = field(default_factory=dict)
+    runs: dict = field(default_factory=dict)  # {rate-as-string: report json}
+    knee: Optional[dict] = None
+    trace_stages: dict = field(default_factory=dict)
+    trace_example: Optional[dict] = None
+    schedule_fingerprint: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "loadgen",
+            "datasets": list(self.datasets),
+            "seed": self.seed,
+            "k": self.k,
+            "l": self.l,
+            "n_sessions": self.n_sessions,
+            "sessions_per_dataset": self.sessions_per_dataset,
+            "mean_think_seconds": self.mean_think_seconds,
+            "zipf_exponent": self.zipf_exponent,
+            "window": self.window,
+            "cache_size": self.cache_size,
+            "transport": "asyncio",
+            "fit_seconds": dict(self.fit_seconds),
+            "dataset_mix": dict(self.dataset_mix),
+            "runs": {key: dict(value) for key, value in self.runs.items()},
+            "knee": self.knee,
+            "trace_stages": dict(self.trace_stages),
+            "trace_example": self.trace_example,
+            "schedule_fingerprint": self.schedule_fingerprint,
+        }
+
+    def render(self) -> str:
+        rows = []
+        for rate, record in self.runs.items():
+            latency = record["latency"]
+            rows.append([
+                rate,
+                record["offered_qps"],
+                record["achieved_qps"],
+                record["saturation_ratio"],
+                latency.get("p50", 0.0),
+                latency.get("p99", 0.0),
+                record["errors"],
+            ])
+        table = format_table(
+            f"Open-loop load sweep ({'+'.join(self.datasets)}, "
+            f"{self.n_sessions} sessions/rate, zipf "
+            f"s={self.zipf_exponent}, window={self.window})",
+            ["sessions/s", "offered QPS", "achieved QPS", "ratio",
+             "p50 s", "p99 s", "errors"],
+            rows,
+        )
+        knee = (
+            f"saturation knee: {self.knee['arrival_rate']:g} sessions/s "
+            f"({self.knee['achieved_qps']:.1f} QPS achieved)"
+            if self.knee else "saturation knee: below the lowest rate"
+        )
+        stages = "   ".join(
+            f"{stage}: {p50 * 1e3:.2f}ms"
+            for stage, p50 in self.trace_stages.items()
+        )
+        return (
+            f"{table}\n{knee}\n"
+            f"trace stage p50 over the socket hop: {stages}\n"
+            f"dataset mix (zipf): {self.dataset_mix}   "
+            f"schedule fingerprint: {self.schedule_fingerprint}"
+        )
+
+
+def run_loadgen_experiment(
+    dataset_names: Sequence[str] = ("cyber", "flights"),
+    arrival_rates: Sequence[float] = (4.0, 8.0, 16.0),
+    n_sessions: int = 24,
+    sessions_per_dataset: int = 8,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = None,
+    mean_think_seconds: float = 0.02,
+    zipf_exponent: float = 1.1,
+    window: int = 64,
+    cache_size: int = 256,
+    max_sessions: int = 64,
+    store_dir: Optional[str] = None,
+) -> LoadgenResult:
+    """Sweep open-loop arrival rates against a store-backed async server.
+
+    Fits one engine per dataset, saves them into an
+    :class:`~repro.api.ArtifactStore`, spawns a multi-dataset
+    :func:`~repro.serve.spawn_store_server` subprocess (asyncio
+    transport), and replays the *same* seeded session pool at each
+    arrival rate through one pipelined tracing client.  The schedule for
+    each rate is built twice and the fingerprints compared — a committed
+    record is therefore also a proof the workload regenerates bit-
+    identically from its seed.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import ArtifactStore, Engine
+    from repro.loadgen import build_schedule, find_knee, run_open_loop, \
+        sample_sessions
+    from repro.serve import AsyncRemoteBackend, spawn_store_server
+
+    result = LoadgenResult(
+        datasets=tuple(dataset_names),
+        seed=seed,
+        k=k,
+        l=l,
+        n_sessions=n_sessions,
+        sessions_per_dataset=sessions_per_dataset,
+        mean_think_seconds=mean_think_seconds,
+        zipf_exponent=zipf_exponent,
+        window=window,
+        cache_size=cache_size,
+    )
+    root = store_dir or tempfile.mkdtemp(prefix="repro-loadgen-")
+    try:
+        store = ArtifactStore(root)
+        sessions_by_dataset: dict = {}
+        for name in dataset_names:
+            bundle = load_bundle(name, n_rows=n_rows, seed=seed)
+            engine = Engine("subtab", config=SubTabConfig(k=k, l=l, seed=seed))
+            fit_start = time.perf_counter()
+            engine.fit(bundle.frame, binned=bundle.binned)
+            result.fit_seconds[name] = time.perf_counter() - fit_start
+            store.save(name, engine)
+            sessions_by_dataset[name] = sample_sessions(
+                bundle.binned,
+                dataset=name,
+                n_sessions=sessions_per_dataset,
+                seed=seed,
+                k=k,
+                l=l,
+                pattern_columns=bundle.dataset.pattern_columns,
+            )
+
+        def schedule_at(rate: float):
+            return build_schedule(
+                sessions_by_dataset,
+                seed=seed,
+                arrival_rate=rate,
+                n_sessions=n_sessions,
+                mean_think_seconds=mean_think_seconds,
+                zipf_exponent=zipf_exponent,
+            )
+
+        with spawn_store_server(
+            root, capacity=max(4, len(dataset_names)),
+            cache_size=cache_size, transport="asyncio",
+        ) as server:
+            backend = AsyncRemoteBackend(
+                server.address, window=window, trace=True
+            )
+            try:
+                reports = []
+                for rate in arrival_rates:
+                    schedule = schedule_at(rate)
+                    rebuilt = schedule_at(rate).fingerprint()
+                    if schedule.fingerprint() != rebuilt:
+                        raise RuntimeError(
+                            f"schedule at rate {rate} is not reproducible "
+                            f"from seed {seed}"
+                        )
+                    report = run_open_loop(
+                        backend, schedule, max_sessions=max_sessions
+                    )
+                    reports.append(report)
+                    result.runs[f"{rate:g}"] = report.to_json()
+                    if not result.dataset_mix:
+                        result.dataset_mix = schedule.dataset_mix()
+                        result.schedule_fingerprint = schedule.fingerprint()
+                knee = find_knee(reports)
+                result.knee = knee.to_json() if knee else None
+                metrics = backend.metrics.snapshot()
+                result.trace_stages = {
+                    name.split(".", 1)[1]: snapshot["p50"]
+                    for name, snapshot in metrics.items()
+                    if name.startswith("trace.")
+                }
+                result.trace_example = backend.last_trace
+            finally:
+                backend.close()
+        return result
+    finally:
+        if store_dir is None:  # only clean up the directory we created
+            shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
 # Async QPS — pipelined transport and read-from-replica routing
 # ---------------------------------------------------------------------------
 
@@ -1150,16 +1372,19 @@ class AsyncQPSResult:
     ``primary`` policy replicas are failover-only dead weight — the ring
     hands every request to its first replica, and consistent hashing
     splits traffic unevenly; ``round_robin`` serves reads from every
-    replica, so the 2-member ring balances.  Both rings run pipelined
-    member clients; ``cluster_reference`` embeds the committed
-    failover-only 2-member record from ``BENCH_cluster_qps.json`` for
-    trajectory reading.
+    replica, so the 2-member ring balances, but it alternates *the same
+    state* across replicas and pays every cold miss once per replica;
+    ``hash`` also serves reads from every replica while pinning each
+    request hash to one owner, so the ring balances *and* each state is
+    computed exactly once.  All rings run pipelined member clients;
+    ``cluster_reference`` embeds the committed failover-only 2-member
+    record from ``BENCH_cluster_qps.json`` for trajectory reading.
 
     Read the ring numbers with the host's core count in mind: on one
-    core, balancing buys no CPU parallelism and round-robin pays each
-    state's cold miss once per replica, so ``primary`` keeps a wall-clock
-    edge there — the balanced ``per_member`` split is the claim, and the
-    committed failover-only reference is the bar both policies clear.
+    core, balancing buys no CPU parallelism, so round_robin's duplicated
+    cold misses cost it real wall-clock against ``primary`` — and
+    ``hash`` recovers that gap (balanced split at primary-like QPS),
+    which is the cache-affinity claim this benchmark pins down.
     """
 
     dataset: str
@@ -1175,6 +1400,7 @@ class AsyncQPSResult:
     pipelined_client: dict = field(default_factory=dict)
     replica_primary: dict = field(default_factory=dict)
     replica_round_robin: dict = field(default_factory=dict)
+    replica_hash: dict = field(default_factory=dict)
     cluster_reference: Optional[dict] = None
 
     @property
@@ -1187,6 +1413,13 @@ class AsyncQPSResult:
         base = self.replica_primary.get("qps", 0.0)
         return (self.replica_round_robin.get("qps", 0.0) / base
                 if base else 0.0)
+
+    @property
+    def affinity_gain(self) -> float:
+        """Hash routing's QPS over round_robin's — the duplicate-cold-miss
+        penalty that cache-affinity routing recovers."""
+        base = self.replica_round_robin.get("qps", 0.0)
+        return self.replica_hash.get("qps", 0.0) / base if base else 0.0
 
     def to_json(self) -> dict:
         return {
@@ -1205,8 +1438,10 @@ class AsyncQPSResult:
             "pipelined_client": dict(self.pipelined_client),
             "replica_primary": dict(self.replica_primary),
             "replica_round_robin": dict(self.replica_round_robin),
+            "replica_hash": dict(self.replica_hash),
             "pipeline_speedup": self.pipeline_speedup,
             "replica_read_gain": self.replica_read_gain,
+            "affinity_gain": self.affinity_gain,
             "cluster_reference": self.cluster_reference,
         }
 
@@ -1223,6 +1458,8 @@ class AsyncQPSResult:
              self.replica_round_robin["served"],
              self.replica_round_robin["seconds"],
              self.replica_round_robin["qps"]],
+            ["2-member ring, policy=hash", self.replica_hash["served"],
+             self.replica_hash["seconds"], self.replica_hash["qps"]],
         ]
         table = format_table(
             f"Async transport QPS ({self.algorithm} on {self.dataset}, "
@@ -1241,8 +1478,9 @@ class AsyncQPSResult:
         return (
             f"{table}\n"
             f"pipelining speedup: {self.pipeline_speedup:.2f}x   "
-            f"read-replica gain over primary: {self.replica_read_gain:.2f}x"
-            f"{reference}"
+            f"read-replica gain over primary: {self.replica_read_gain:.2f}x   "
+            f"cache-affinity gain over round_robin: "
+            f"{self.affinity_gain:.2f}x{reference}"
         )
 
 
@@ -1309,9 +1547,9 @@ def run_async_qps_experiment(
     many-in-flight :class:`~repro.serve.AsyncRemoteBackend` against the
     *same* single asyncio member (both after one batch warm-up pass, so
     the comparison isolates the transport, not the LRU), then a 2-member
-    ``replication=2`` ring under the ``primary`` (failover-only) and
-    ``round_robin`` (read-from-replica) policies, cold, like the cluster
-    bench.  Per-member LRU capacity is
+    ``replication=2`` ring under the ``primary`` (failover-only),
+    ``round_robin`` (read-from-replica), and ``hash`` (cache-affinity)
+    policies, cold, like the cluster bench.  Per-member LRU capacity is
     ``ceil(shard_slack * n_states / 2)`` everywhere — large enough that a
     replica can absorb the reads the policy hands it, so the ring
     comparison isolates routing, not cache pressure.
@@ -1393,6 +1631,10 @@ def run_async_qps_experiment(
             artifact, workload, members=2, replication=2,
             replica_policy="round_robin", cache_size=cache_size,
             window=window,
+        )
+        result.replica_hash = _drive_ring(
+            artifact, workload, members=2, replication=2,
+            replica_policy="hash", cache_size=cache_size, window=window,
         )
 
         if cluster_reference_path:

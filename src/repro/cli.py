@@ -31,11 +31,12 @@ Examples::
     python -m repro serve --artifact /tmp/cyber-engine --sessions 5
     python -m repro serve --artifact /tmp/cyber-engine --workers 4 --routing hash
     python -m repro serve --artifact /tmp/cyber-engine --transport socket --port 7341
-    python -m repro serve --artifact /tmp/cyber-engine --transport asyncio --port 0
+    python -m repro serve --artifact /tmp/cyber-engine --transport asyncio --port 0 \
+        --stats-interval 10
     python -m repro serve --artifact /tmp/cyber-engine --connect 127.0.0.1:7341
     python -m repro serve --artifact /tmp/cyber-engine \
         --connect hostA:7341,hostB:7341 --replicas 2 \
-        --replica-policy round_robin --pipelined
+        --replica-policy hash --pipelined
     python -m repro experiment fig8 --rows 1500
 """
 
@@ -157,12 +158,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="replica-set size per request when --connect "
                             "lists several members (failover breadth)")
     serve.add_argument("--replica-policy",
-                       choices=["primary", "round_robin", "least_inflight"],
+                       choices=["primary", "round_robin", "hash",
+                                "least_inflight"],
                        default="primary",
                        help="which live replica serves each read when "
                             "--connect lists several members: primary "
                             "(ring order; replicas are failover-only), "
-                            "round_robin, or least_inflight")
+                            "round_robin, hash (cache affinity: each "
+                            "request hash owns one replica), or "
+                            "least_inflight")
+    serve.add_argument("--stats-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="with --transport socket/asyncio: every N "
+                            "seconds, print the backend's stats() snapshot "
+                            "(served/errors plus the metrics section) as "
+                            "one JSON line (0: off)")
     serve.add_argument("--pipelined", action="store_true",
                        help="with --connect: speak the pipelined "
                             "multiplexing client (many in-flight frames "
@@ -319,6 +329,31 @@ def _render_serving_stats(stats: dict, results) -> str:
     return f"aggregate QPS: {stats.get('qps', 0.0):.1f}"
 
 
+def _start_stats_reporter(backend, interval: float):
+    """Periodically print ``backend.stats()`` as one JSON line each.
+
+    Returns a stop callable (``None`` when ``interval`` is off).  The
+    snapshots include the backend's ``metrics`` section — counters and
+    latency histograms from :mod:`repro.obs` — so a long-running server
+    leaves a scrapeable trail on stdout without any client asking.
+    """
+    import json
+    import threading
+
+    if interval <= 0:
+        return None
+    stop = threading.Event()
+
+    def report() -> None:
+        while not stop.wait(interval):
+            print(json.dumps(backend.stats(), sort_keys=True), flush=True)
+
+    thread = threading.Thread(target=report, name="stats-reporter",
+                              daemon=True)
+    thread.start()
+    return stop.set
+
+
 def _serve_socket(args) -> int:
     """Expose the locally built backend on a TCP address (server mode)."""
     from repro.serve import AsyncSocketServer, SocketServer, artifact_backend
@@ -339,11 +374,14 @@ def _serve_socket(args) -> int:
     print(f"serving {args.artifact} on {host}:{port} "
           f"(transport={args.transport}, workers={args.workers}, "
           f"routing={args.routing}); Ctrl-C to stop", flush=True)
+    stop_reporter = _start_stats_reporter(backend, args.stats_interval)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if stop_reporter is not None:
+            stop_reporter()
         server.close()
     return 0
 

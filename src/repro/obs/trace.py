@@ -1,0 +1,66 @@
+"""Per-request trace ids and stage timings.
+
+A trace rides the wire *envelope*, not the request codec: clients that
+opt in (``RemoteBackend(trace=True)`` / ``AsyncRemoteBackend(trace=True)``)
+attach ``{"trace": {"id": ...}}`` to the frame next to the existing
+``"id"`` pipelining tag, and the dispatcher echoes it back enriched with
+server-side stage timings::
+
+    {"trace": {"id": "cli-1234-7", "stages": [
+        {"stage": "backend", "seconds": 0.0021},
+        {"stage": "select",  "seconds": 0.0019},
+        {"stage": "server",  "seconds": 0.0023}]}}
+
+Clients then derive the stages only they can see — ``client_queue``
+(scheduled send → actual send, the pipelined window wait) and
+``transport`` (round trip minus server wall) — giving one request's
+journey across client queue → socket → dispatcher → engine select even
+when the hops span processes.  Requests without a ``trace`` key are
+answered byte-identically to before, so tracing is zero-cost until
+switched on.
+
+Ids are ``prefix-pid-counter``: unique per process without any entropy
+source (the determinism lint bans unseeded draws; a counter needs none).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+TRACE_KEY = "trace"
+
+#: Stage names, in request order.  Client-side stages are derived by the
+#: transports; server-side stages are measured by the dispatcher.
+CLIENT_STAGES = ("client_queue", "transport")
+SERVER_STAGES = ("server", "backend", "select")
+
+_counter_lock = threading.Lock()
+_counter = 0
+
+
+def next_trace_id(prefix: str = "req") -> str:
+    """A process-unique trace id (``prefix-pid-n``), no randomness."""
+    global _counter
+    with _counter_lock:
+        _counter += 1
+        value = _counter
+    return f"{prefix}-{os.getpid()}-{value}"
+
+
+def make_stage(stage: str, seconds: float) -> dict:
+    """One stage-timing entry (clamped at zero: clock skew between the
+    client's round-trip measurement and the server's wall time can push
+    a derived stage slightly negative)."""
+    return {"stage": stage, "seconds": max(0.0, float(seconds))}
+
+
+def stage_seconds(trace, stage: str) -> float:
+    """The recorded duration of ``stage`` in a trace dict (0.0 when the
+    stage — or the whole trace — is absent)."""
+    if not isinstance(trace, dict):
+        return 0.0
+    for entry in trace.get("stages", ()):
+        if isinstance(entry, dict) and entry.get("stage") == stage:
+            return float(entry.get("seconds", 0.0))
+    return 0.0

@@ -67,6 +67,7 @@ from repro.serve.transport import (
     recv_frame,
     send_frame,
     spawn_artifact_server,
+    spawn_store_server,
 )
 
 __all__ = [
@@ -104,4 +105,5 @@ __all__ = [
     "request_key",
     "send_frame",
     "spawn_artifact_server",
+    "spawn_store_server",
 ]

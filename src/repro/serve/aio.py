@@ -52,6 +52,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from repro.api.request import SelectionRequest, SelectionResponse
+from repro.obs import TRACE_KEY, make_stage, next_trace_id, stage_seconds
 from repro.serve.backend import BaseBackend
 from repro.serve.errors import (
     BackendError,
@@ -361,16 +362,29 @@ class _ReplyCollector:
     measurable slice of a warm select's round trip).
     """
 
-    __slots__ = ("slots", "failure", "done", "_remaining", "_lock")
+    __slots__ = ("slots", "failure", "done", "sent_times", "recv_times",
+                 "_remaining", "_lock")
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, track_times: bool = False) -> None:
         self.slots: list = [None] * size
         self.failure: Optional[TransportError] = None
         self.done = threading.Event()
+        # Per-slot send/receive stamps for tracing clients: the only
+        # vantage point that sees the pipelined window wait
+        # (``client_queue``) and the per-frame wire time.  ``None`` when
+        # not tracing — the hot path pays nothing.
+        self.sent_times: Optional[list] = [None] * size if track_times else None
+        self.recv_times: Optional[list] = [None] * size if track_times else None
         self._remaining = size
         self._lock = threading.Lock()
 
+    def mark_sent(self, index: int, stamp: float) -> None:
+        if self.sent_times is not None:
+            self.sent_times[index] = stamp
+
     def deliver(self, index: int, reply: dict) -> None:
+        if self.recv_times is not None:
+            self.recv_times[index] = time.perf_counter()
         self.slots[index] = reply
         with self._lock:
             self._remaining -= 1
@@ -479,6 +493,9 @@ class _PipelinedConnection:
             burst = b"".join(chunks)
             with self._send_lock:
                 self._sock.sendall(burst)
+            stamp = time.perf_counter()
+            for _frame_id, index in sendable:
+                collector.mark_sent(index, stamp)
         except (OSError, TransportError) as error:
             self._fail(error if isinstance(error, TransportError)
                        else TransportError(
@@ -608,6 +625,7 @@ class AsyncRemoteBackend(BaseBackend):
         connect_timeout: float = 5.0,
         call_timeout: Optional[float] = DEFAULT_CALL_TIMEOUT,
         window: int = DEFAULT_WINDOW,
+        trace: bool = False,
     ):
         super().__init__()
         self.host, self.port = parse_address(address)
@@ -616,6 +634,11 @@ class AsyncRemoteBackend(BaseBackend):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
+        self.trace = trace
+        #: The most recent completed trace (``{"id", "stages"}``) when
+        #: ``trace=True``; per-stage histograms accumulate in
+        #: ``self.metrics`` under ``trace.<stage>``.
+        self.last_trace: Optional[dict] = None
         self._conn: Optional[_PipelinedConnection] = None
         self._conn_lock = threading.Lock()
 
@@ -663,19 +686,64 @@ class AsyncRemoteBackend(BaseBackend):
             return SelectionResponse.from_wire(reply["response"])
         return reply_error(reply)  # the shared sync/pipelined mapping
 
+    # -- tracing -------------------------------------------------------------
+    def _traced(self, message: dict) -> dict:
+        if not self.trace:
+            return message
+        return {**message, TRACE_KEY: {"id": next_trace_id("pipe")}}
+
+    def _record_traces(self, replies: Sequence, timings) -> None:
+        """Derive the client-only stages for every traced reply:
+        ``client_queue`` (stream start → frame actually sent, i.e. the
+        window wait) and ``transport`` (frame round trip minus the
+        server's wall)."""
+        if timings is None:
+            return
+        sent_times, recv_times, stream_start = timings
+        last = None
+        for index, reply in enumerate(replies):
+            if not isinstance(reply, dict):
+                continue
+            carried = reply.get(TRACE_KEY)
+            if not isinstance(carried, dict):
+                continue
+            stages = list(carried.get("stages", ()))
+            sent, received = sent_times[index], recv_times[index]
+            if sent is not None:
+                stages.append(make_stage("client_queue", sent - stream_start))
+                if received is not None:
+                    stages.append(make_stage(
+                        "transport",
+                        (received - sent) - stage_seconds(carried, "server"),
+                    ))
+            trace = {"id": carried.get("id"), "stages": stages}
+            for entry in stages:
+                self.metrics.histogram(
+                    f"trace.{entry['stage']}"
+                ).observe(entry["seconds"])
+            last = trace
+        if last is not None:
+            self.last_trace = last
+
     # -- pipelining ----------------------------------------------------------
-    def _stream(self, messages: Sequence[dict]) -> list:
-        """Send ``messages`` windowed over one connection; their replies,
-        in message order.  Raises :class:`TransportError` (after one
-        retry on a reused connection) when the transport dies mid-stream.
+    def _stream(self, messages: Sequence[dict],
+                track_times: bool = False) -> tuple:
+        """Send ``messages`` windowed over one connection; returns
+        ``(replies, timings)`` with replies in message order and
+        ``timings`` a ``(sent_times, recv_times, stream_start)`` triple
+        when ``track_times`` (else ``None``).  Raises
+        :class:`TransportError` (after one retry on a reused connection)
+        when the transport dies mid-stream.
         """
         if not messages:
-            return []  # a zero-size collector would never complete
+            return [], None  # a zero-size collector would never complete
         attempts = 2
         while True:
             attempts -= 1
             conn, fresh = self._connection()
-            collector = _ReplyCollector(len(messages))
+            collector = _ReplyCollector(len(messages),
+                                        track_times=track_times)
+            stream_start = time.perf_counter()
             gate = threading.BoundedSemaphore(self.window)
             try:
                 position = 0
@@ -706,7 +774,9 @@ class AsyncRemoteBackend(BaseBackend):
                 collector.done.wait()
                 if collector.failure is not None:
                     raise collector.failure
-                return collector.slots
+                timings = ((collector.sent_times, collector.recv_times,
+                            stream_start) if track_times else None)
+                return collector.slots, timings
             except PipelineCancelled:
                 raise  # the caller closed us: never retry
             except (OSError, TransportError) as error:
@@ -729,16 +799,18 @@ class AsyncRemoteBackend(BaseBackend):
     ) -> list:
         self._require_open()
         start = time.perf_counter()
-        messages = [{"op": "select", "request": request.to_wire()}
+        messages = [self._traced({"op": "select", "request": request.to_wire()})
                     for request in requests]
         try:
-            replies = self._stream(messages)
+            replies, timings = self._stream(messages,
+                                            track_times=self.trace)
         except BackendError as error:
             # Every request of the batch went unserved: the stats envelope
             # counts them all, so errors/qps stay honest under failure.
             self._account([error] * len(requests),
                           time.perf_counter() - start)
             raise
+        self._record_traces(replies, timings)
         entries = [self._entry(reply) for reply in replies]
         self._account(entries, time.perf_counter() - start)
         return self._finish(entries, raise_on_error)
@@ -747,9 +819,11 @@ class AsyncRemoteBackend(BaseBackend):
         self._require_open()
         start = time.perf_counter()
         try:
-            (reply,) = self._stream(
-                [{"op": "select", "request": request.to_wire()}]
+            (reply,), timings = self._stream(
+                [self._traced({"op": "select", "request": request.to_wire()})],
+                track_times=self.trace,
             )
+            self._record_traces([reply], timings)
             entry = self._entry(reply)
             if isinstance(entry, Exception):
                 raise entry
@@ -761,15 +835,23 @@ class AsyncRemoteBackend(BaseBackend):
 
     def ping(self) -> bool:
         """Liveness probe (raises :class:`TransportError` when unreachable)."""
-        (reply,) = self._stream([{"op": "ping"}])
+        (reply,), _ = self._stream([{"op": "ping"}])
         return bool(reply.get("ok"))
+
+    def server_metrics(self) -> dict:
+        """The server-side telemetry snapshot (``metrics`` op):
+        ``{"dispatcher": ..., "backend": ...}`` registry snapshots."""
+        (reply,), _ = self._stream([{"op": "metrics"}])
+        if not reply.get("ok"):
+            raise reply_error(reply)
+        return reply["metrics"]
 
     def stats(self) -> dict:
         payload = super().stats()
         payload["address"] = self.address
         payload["window"] = self.window
         try:
-            (reply,) = self._stream([{"op": "stats"}])
+            (reply,), _ = self._stream([{"op": "stats"}])
             payload["server"] = reply["stats"]
         except (BackendError, KeyError):
             payload["server"] = None

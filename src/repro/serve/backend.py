@@ -39,6 +39,7 @@ from typing import Optional, Protocol, Sequence, runtime_checkable
 from repro.api.engine import Engine
 from repro.api.request import SelectionRequest, SelectionResponse
 from repro.api.workspace import Workspace
+from repro.obs import MetricsRegistry
 from repro.serve.errors import BackendError
 from repro.serve.pool import EnginePool
 
@@ -91,6 +92,10 @@ class BaseBackend:
         self._errors = 0
         self._seconds = 0.0
         self._closed = False
+        #: Per-backend telemetry; concrete backends and the transports
+        #: observe into it, and ``stats()`` reports its snapshot under
+        #: the shared ``"metrics"`` key.
+        self.metrics = MetricsRegistry()
 
     # -- protocol ------------------------------------------------------------
     def select(self, request: SelectionRequest) -> SelectionResponse:
@@ -104,7 +109,11 @@ class BaseBackend:
         raise NotImplementedError
 
     def stats(self) -> dict:
-        return core_stats(self.kind, self._served, self._errors, self._seconds)
+        payload = core_stats(
+            self.kind, self._served, self._errors, self._seconds
+        )
+        payload["metrics"] = self.metrics.snapshot()
+        return payload
 
     def close(self) -> None:
         self._closed = True
@@ -122,6 +131,9 @@ class BaseBackend:
             1 for e in entries if not isinstance(e, SelectionResponse)
         )
         self._seconds += seconds
+        if entries:
+            self.metrics.histogram("batch.seconds").observe(seconds)
+            self.metrics.histogram("batch.size").observe(float(len(entries)))
 
     @staticmethod
     def _finish(entries: list, raise_on_error: bool) -> list:

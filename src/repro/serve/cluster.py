@@ -19,10 +19,12 @@ request-hash)``:
   the read** — ``"primary"`` always reads from the first replica in ring
   order (maximally warm LRUs, replicas are pure failover standbys),
   ``"round_robin"`` rotates reads across the replica set (every replica
-  earns its keep under load), ``"least_inflight"`` reads from the replica
-  with the fewest requests currently in flight (routes around slow
-  members before they fail) — driven by the per-member traffic counters
-  the router keeps anyway;
+  earns its keep under load), ``"hash"`` routes each request to the
+  replica its content hash names (every replica earns its keep *and*
+  each request's cache entry lives on exactly one replica),
+  ``"least_inflight"`` reads from the replica with the fewest requests
+  currently in flight (routes around slow members before they fail) —
+  driven by the per-member traffic counters the router keeps anyway;
 * whichever replica the policy picks first, a member that raises a
   :class:`~repro.serve.errors.BackendError` (dead socket, dead pool
   worker, exhausted nested cluster) is marked suspect and the request
@@ -100,6 +102,14 @@ class ReplicaPolicy:
         """A permutation of ``indices`` (ring order in, serve order out)."""
         raise NotImplementedError
 
+    def order_at(self, point: int, indices: Sequence[int],
+                 members: Sequence[_Member]) -> list:
+        """Like :meth:`order`, but with the request's ring point available
+        — content-affine policies (``hash``) key on it.  The default
+        delegates to :meth:`order`, so point-blind policies (including
+        third-party two-argument subclasses) need not know it exists."""
+        return self.order(indices, members)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -141,6 +151,32 @@ class RoundRobinPolicy(ReplicaPolicy):
         return indices[turn:] + indices[:turn]
 
 
+class HashPolicy(ReplicaPolicy):
+    """Cache-affinity reads: the request's own ring point picks which
+    replica serves it.
+
+    ``round_robin`` spreads load but duplicates every cache entry across
+    the replica set — each replica takes cold misses for the whole key
+    space, which is why it *loses* to ``primary`` on cache-bound
+    workloads (209 vs 409 QPS in ``BENCH_async_qps.json``).  Hashing
+    *within* the replica set keeps the spread while sharding the key
+    space: the same request always reads from the same replica (warm
+    LRU), different requests split ~evenly across replicas (the ring
+    point is uniform), and failover order is the rotation that starts at
+    the owner, so a dead owner's shard falls to its successor.
+    """
+
+    name = "hash"
+
+    def order(self, indices, members):
+        return list(indices)  # no point, no preference: ring order
+
+    def order_at(self, point, indices, members):
+        indices = list(indices)
+        turn = point % len(indices)
+        return indices[turn:] + indices[:turn]
+
+
 class LeastInflightPolicy(ReplicaPolicy):
     """Read from the replica with the fewest requests in flight.
 
@@ -164,6 +200,7 @@ class LeastInflightPolicy(ReplicaPolicy):
 _REPLICA_POLICIES = {
     PrimaryPolicy.name: PrimaryPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
+    HashPolicy.name: HashPolicy,
     LeastInflightPolicy.name: LeastInflightPolicy,
 }
 
@@ -209,7 +246,8 @@ class ClusterRouter(BaseBackend):
     replica_policy:
         Which live replica serves each read: ``"primary"`` (default —
         ring order, replicas are failover-only), ``"round_robin"``,
-        ``"least_inflight"``, or a :class:`ReplicaPolicy` instance.
+        ``"hash"`` (cache-affine load spread), ``"least_inflight"``, or
+        a :class:`ReplicaPolicy` instance.
         Failover-on-:class:`BackendError` semantics are identical under
         every policy; only the first replica *tried* changes.
     vnodes:
@@ -296,11 +334,16 @@ class ClusterRouter(BaseBackend):
                     break
         return chosen
 
-    def _attempt_order(self, indices: Sequence[int]) -> list[int]:
+    def _attempt_order(self, indices: Sequence[int],
+                       point: Optional[int] = None) -> list[int]:
         """The serve order of a replica set: the replica policy picks who
         reads, then live replicas come before suspects (a recovered member
         gets another chance only once every live replica has failed too)."""
-        ordered = self.replica_policy.order(indices, self._members)
+        if point is not None:
+            ordered = self.replica_policy.order_at(point, indices,
+                                                   self._members)
+        else:
+            ordered = self.replica_policy.order(indices, self._members)
         live = [i for i in ordered if not self._members[i].dead]
         dead = [i for i in ordered if self._members[i].dead]
         return live + dead
@@ -354,8 +397,10 @@ class ClusterRouter(BaseBackend):
         ``skip_dead`` drops quarantined replicas instead of trying them
         last — the batch failover pass uses it so a dead member's connect
         latency is paid once per batch, not once per request."""
+        if point is None:
+            point = stable_hash64(request_key(request))
         indices = self._replica_indices(request, point)
-        order = self._attempt_order(indices)
+        order = self._attempt_order(indices, point)
         if skip_dead:
             order = [i for i in order if not self._members[i].dead]
             if not order:
@@ -464,7 +509,8 @@ class ClusterRouter(BaseBackend):
         planned: dict[int, int] = {}
         for position, request in enumerate(requests):
             indices = self._attempt_order(
-                self._replica_indices(request, points[position])
+                self._replica_indices(request, points[position]),
+                points[position],
             )
             target = indices[0]
             groups.setdefault(target, []).append((position, request))

@@ -33,9 +33,18 @@ Operations (client → server)
 =================  =====================================================
 ``ping``           liveness probe → ``{"ok": true}``
 ``stats``          the hosted backend's stats → ``{"ok": true, "stats"}``
+``metrics``        dispatcher + backend telemetry → ``{"ok": true,
+                   "metrics"}``
 ``select``         one request wire dict → ``{"ok": true, "response"}``
 ``select_many``    request wire dicts → ``{"ok": true, "results": [...]}``
 =================  =====================================================
+
+A message may also carry a ``"trace"`` field (``{"id": ...}``, see
+:mod:`repro.obs.trace`); the server echoes it back enriched with
+server-side stage timings (``server``/``backend``/``select``), and the
+clients derive the stages only they can see (``client_queue``,
+``transport``).  Requests without the field get byte-identical replies,
+so tracing costs nothing until a client opts in.
 
 Failures come back as ``{"ok": false, "kind": ..., "error": ...}`` where
 ``kind`` is ``"request"`` (fails on every replica — surfaced as
@@ -59,6 +68,13 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api.request import SelectionRequest, SelectionResponse
+from repro.obs import (
+    TRACE_KEY,
+    MetricsRegistry,
+    make_stage,
+    next_trace_id,
+    stage_seconds,
+)
 from repro.serve.backend import BaseBackend
 from repro.serve.errors import (
     BackendError,
@@ -168,30 +184,56 @@ class BackendDispatcher:
     def __init__(self, backend) -> None:
         self.backend = backend
         self._lock = threading.Lock()
+        #: Server-side telemetry: per-op counters plus ``trace.<stage>``
+        #: timing histograms for traced requests.  Exposed by the
+        #: ``metrics`` op and the CLI's ``--stats-interval`` dump.
+        self.metrics = MetricsRegistry()
 
     def handle_message(self, message) -> dict:
+        tracing = isinstance(message, dict) and TRACE_KEY in message
+        stages: "Optional[list]" = [] if tracing else None
+        start = time.perf_counter()
         try:
-            reply = self._dispatch(message)
+            reply = self._dispatch(message, stages)
         except Exception as error:  # never kill the connection on bad input
             reply = {"ok": False, "kind": "protocol",
                      "error": f"{type(error).__name__}: {error}"}
+        if tracing and stages is not None:
+            stages.append(make_stage("server", time.perf_counter() - start))
+            carried = message.get(TRACE_KEY)
+            trace_id = (carried.get("id")
+                        if isinstance(carried, dict) else None)
+            reply[TRACE_KEY] = {"id": trace_id, "stages": stages}
+            for entry in stages:
+                self.metrics.histogram(
+                    f"trace.{entry['stage']}"
+                ).observe(entry["seconds"])
         if isinstance(message, dict) and "id" in message:
             # Pipelined clients correlate out-of-order completions by the
             # echoed id; id-less clients see byte-identical replies.
             reply["id"] = message["id"]
         return reply
 
-    def _dispatch(self, message) -> dict:
+    def _dispatch(self, message, stages: "Optional[list]" = None) -> dict:
         if not isinstance(message, dict):
             return {"ok": False, "kind": "protocol",
                     "error": f"expected a JSON object, got "
                              f"{type(message).__name__}"}
         op = message.get("op")
+        if isinstance(op, str):
+            self.metrics.counter(f"ops.{op}").inc()
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
             with self._lock:
                 return {"ok": True, "stats": self.backend.stats()}
+        if op == "metrics":
+            with self._lock:
+                backend_stats = self.backend.stats()
+            return {"ok": True, "metrics": {
+                "dispatcher": self.metrics.snapshot(),
+                "backend": backend_stats.get("metrics", {}),
+            }}
         if op == "select":
             try:
                 # An undecodable request is a *request* failure: it would
@@ -199,13 +241,23 @@ class BackendDispatcher:
                 # reported in a way the client maps to a failover trigger.
                 request = SelectionRequest.from_wire(message["request"])
                 with self._lock:
+                    backend_start = time.perf_counter()
                     response = self.backend.select(request)
+                    backend_seconds = time.perf_counter() - backend_start
             except BackendError as error:
                 return {"ok": False, "kind": "backend",
                         "error": f"{type(error).__name__}: {error}"}
             except Exception as error:
                 return {"ok": False, "kind": "request",
                         "error": f"{type(error).__name__}: {error}"}
+            if stages is not None:
+                # ``backend`` is the full dispatch hop (queueing through a
+                # hosted pool/cluster included); ``select`` is the engine's
+                # own selection wall — the gap between them is routing cost.
+                stages.append(make_stage("backend", backend_seconds))
+                stages.append(make_stage(
+                    "select", getattr(response, "select_seconds", 0.0) or 0.0
+                ))
             return {"ok": True, "response": response.to_wire()}
         if op == "select_many":
             requests = []
@@ -221,13 +273,17 @@ class BackendDispatcher:
                     requests.append(None)
             try:
                 with self._lock:
+                    backend_start = time.perf_counter()
                     entries = self.backend.select_many(
                         [r for r in requests if r is not None],
                         raise_on_error=False,
                     )
+                    backend_seconds = time.perf_counter() - backend_start
             except BackendError as error:
                 return {"ok": False, "kind": "backend",
                         "error": f"{type(error).__name__}: {error}"}
+            if stages is not None:
+                stages.append(make_stage("backend", backend_seconds))
             served = iter(entries)
             results = []
             for position in range(len(requests)):
@@ -416,11 +472,17 @@ class RemoteBackend(BaseBackend):
         address: "str | tuple",
         connect_timeout: float = 5.0,
         call_timeout: Optional[float] = DEFAULT_CALL_TIMEOUT,
+        trace: bool = False,
     ):
         super().__init__()
         self.host, self.port = parse_address(address)
         self.connect_timeout = connect_timeout
         self.call_timeout = call_timeout
+        self.trace = trace
+        #: The most recent completed trace (``{"id", "stages"}``) when
+        #: ``trace=True``; per-stage histograms accumulate in
+        #: ``self.metrics`` under ``trace.<stage>``.
+        self.last_trace: Optional[dict] = None
         self._sock: Optional[socket.socket] = None
 
     # -- connection ----------------------------------------------------------
@@ -436,9 +498,29 @@ class RemoteBackend(BaseBackend):
                 pass
             self._sock = None
 
+    def _record_trace(self, reply: dict, round_trip: float) -> None:
+        carried = reply.get(TRACE_KEY)
+        if not isinstance(carried, dict):
+            return
+        # The only stage the client can see that the server cannot: wire
+        # time, i.e. the round trip minus the server's own wall clock.
+        stages = list(carried.get("stages", ()))
+        stages.append(make_stage(
+            "transport", round_trip - stage_seconds(carried, "server")
+        ))
+        trace = {"id": carried.get("id"), "stages": stages}
+        for entry in stages:
+            self.metrics.histogram(
+                f"trace.{entry['stage']}"
+            ).observe(entry["seconds"])
+        self.last_trace = trace
+
     def _call(self, message: dict, *, reconnect: bool = True) -> dict:
         self._require_open()
+        if self.trace and TRACE_KEY not in message:
+            message = {**message, TRACE_KEY: {"id": next_trace_id("sync")}}
         fresh = self._sock is None
+        start = time.perf_counter()
         try:
             if self._sock is None:
                 self._sock = socket.create_connection(
@@ -449,6 +531,8 @@ class RemoteBackend(BaseBackend):
             reply = recv_frame(self._sock)
             if reply is None:
                 raise TransportError("server closed the connection")
+            if self.trace:
+                self._record_trace(reply, time.perf_counter() - start)
             return reply
         except (OSError, TransportError) as error:
             self._drop_connection()
@@ -468,6 +552,14 @@ class RemoteBackend(BaseBackend):
     def ping(self) -> bool:
         """Liveness probe (raises :class:`TransportError` when unreachable)."""
         return bool(self._call({"op": "ping"}).get("ok"))
+
+    def server_metrics(self) -> dict:
+        """The server-side telemetry snapshot (``metrics`` op):
+        ``{"dispatcher": ..., "backend": ...}`` registry snapshots."""
+        reply = self._call({"op": "metrics"})
+        if not reply.get("ok"):
+            raise self._reply_error(reply)
+        return reply["metrics"]
 
     # -- protocol ------------------------------------------------------------
     def select_many(
@@ -663,5 +755,90 @@ def spawn_artifact_server(
     if status != "ok":
         process.join(timeout=5.0)
         raise TransportError(f"server over {artifact} failed to start: {detail}")
+    bound_host, bound_port = detail
+    return SpawnedServer(process, bound_host, bound_port)
+
+
+def _store_server_process_main(
+    conn, store_path, capacity, cache_size, host, port, transport,
+) -> None:
+    from repro.api.store import ArtifactStore
+    from repro.serve.backend import InProcessBackend
+
+    signal.signal(signal.SIGTERM, lambda *args: sys.exit(0))
+    try:
+        backend = InProcessBackend.from_store(
+            ArtifactStore(store_path),
+            capacity=capacity,
+            cache_size=cache_size,
+        )
+        if transport == "asyncio":
+            from repro.serve.aio import AsyncSocketServer
+
+            server = AsyncSocketServer(backend, host=host, port=port,
+                                       own_backend=True).start()
+        else:
+            server = SocketServer(backend, host=host, port=port,
+                                  own_backend=True)
+    # Crossing a process boundary: the failure text travels back over the
+    # pipe and spawn_store_server re-wraps it as a typed TransportError.
+    except Exception as error:  # reprolint: ignore[error-taxonomy]
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        return
+    conn.send(("ok", server.address))
+    conn.close()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+
+
+def spawn_store_server(
+    store: "str | Path",
+    capacity: int = 4,
+    cache_size: int = 256,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    startup_timeout: float = 120.0,
+    transport: str = "asyncio",
+) -> SpawnedServer:
+    """Start a *multi-dataset* server over an :class:`ArtifactStore` path.
+
+    The child hosts a :class:`~repro.api.Workspace` (capacity-bounded
+    engine LRU keyed by dataset) behind :class:`InProcessBackend`, so one
+    server answers requests for every dataset in the store — the topology
+    the zipf multi-dataset load harness drives.  Requests must carry
+    ``dataset``; ``transport`` defaults to the pipelined asyncio server
+    because that is what an open-loop client saturates.
+    """
+    if transport not in ("socket", "asyncio"):
+        raise ValueError(f"unknown transport {transport!r}")
+    context = multiprocessing.get_context()
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(
+        target=_store_server_process_main,
+        args=(child_conn, str(store), capacity, cache_size, host, port,
+              transport),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    if not parent_conn.poll(startup_timeout):
+        process.terminate()
+        process.join(timeout=5.0)
+        raise TransportError(
+            f"store server over {store} did not report an address within "
+            f"{startup_timeout:.0f}s"
+        )
+    status, detail = parent_conn.recv()
+    parent_conn.close()
+    if status != "ok":
+        process.join(timeout=5.0)
+        raise TransportError(
+            f"store server over {store} failed to start: {detail}"
+        )
     bound_host, bound_port = detail
     return SpawnedServer(process, bound_host, bound_port)

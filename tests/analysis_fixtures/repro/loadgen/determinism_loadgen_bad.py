@@ -1,0 +1,13 @@
+"""Strict-scope fixture: unseeded ensure_rng inside repro/loadgen/."""
+
+from repro.utils.rng import ensure_rng
+
+
+def schedule_with_entropy():
+    rng = ensure_rng()  # BAD: entropy fallback in a strict scope
+    return rng.random()
+
+
+def schedule_with_explicit_none():
+    rng = ensure_rng(None)  # BAD: literal None is the same loophole
+    return rng.random()

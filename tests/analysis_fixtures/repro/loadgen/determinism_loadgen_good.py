@@ -1,0 +1,12 @@
+"""Strict-scope fixture: explicitly seeded draws pass in repro/loadgen/."""
+
+from repro.utils.rng import ensure_rng
+
+
+def schedule_from_seed(seed: int):
+    rng = ensure_rng(int(seed))  # OK: a pure function of the seed
+    return rng.exponential(0.05)
+
+
+def schedule_from_caller_rng(rng):
+    return ensure_rng(rng).exponential(0.05)  # OK: caller threads it

@@ -195,6 +195,39 @@ def test_determinism_accepts_seeded_generators():
                    "determinism") == []
 
 
+def test_determinism_strict_scope_flags_unseeded_ensure_rng():
+    findings = analyse(
+        FIXTURES / "repro" / "loadgen" / "determinism_loadgen_bad.py",
+        "determinism",
+    )
+    assert len(findings) == 2
+    assert all("entropy" in f.message for f in findings)
+
+
+def test_determinism_strict_scope_accepts_explicit_seeds():
+    assert analyse(
+        FIXTURES / "repro" / "loadgen" / "determinism_loadgen_good.py",
+        "determinism",
+    ) == []
+
+
+def test_determinism_ensure_rng_default_is_fine_outside_strict_scope(
+    tmp_path,
+):
+    # The entropy fallback of ensure_rng() is only banned under
+    # repro/loadgen/; the same call elsewhere in repro stays legal.
+    package = tmp_path / "repro" / "utilsish"
+    package.mkdir(parents=True)
+    snippet = package / "helper.py"
+    snippet.write_text(
+        "from repro.utils.rng import ensure_rng\n"
+        "rng = ensure_rng()\n"
+    )
+    findings, _ = run_analysis(tmp_path, [snippet],
+                               build_checkers(["determinism"]))
+    assert findings == []
+
+
 def test_determinism_is_scoped_to_repro(tmp_path):
     outside = tmp_path / "script.py"
     outside.write_text("import random\nx = random.random()\n")

@@ -149,7 +149,7 @@ class TestServing:
 class TestReplicaPolicies:
     def test_policy_registry(self):
         assert replica_policy_names() == [
-            "least_inflight", "primary", "round_robin",
+            "hash", "least_inflight", "primary", "round_robin",
         ]
         assert make_replica_policy("round_robin").name == "round_robin"
         instance = make_replica_policy("primary")
@@ -196,6 +196,45 @@ class TestReplicaPolicies:
         router.select_many(workload)
         served = {m["name"]: m["served"] for m in router.stats()["members"]}
         assert served == {"a": 4, "b": 4}
+
+    def test_hash_pins_each_request_to_one_owner(self, fitted_engine):
+        # Cache affinity: the same request repeated always lands on the
+        # same replica, so the other replica's LRU never pays the miss
+        # (round_robin would alternate and compute it cold on both).
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="hash")
+        router.select_many([SelectionRequest(k=3, l=3)] * 8)
+        served = {m["name"]: m["served"] for m in router.stats()["members"]}
+        assert sorted(served.values()) == [0, 8]
+        assert router.stats()["failovers"] == 0
+
+    def test_hash_spreads_distinct_requests_across_replicas(
+        self, fitted_engine, requests
+    ):
+        # ...but distinct requests hash to distinct owners, so reads still
+        # use the whole replica set instead of piling onto ring order.
+        members = [("a", InProcessBackend(fitted_engine)),
+                   ("b", InProcessBackend(fitted_engine))]
+        router = ClusterRouter(members, replication=2,
+                               replica_policy="hash")
+        router.select_many(requests)
+        served = {m["name"]: m["served"] for m in router.stats()["members"]}
+        assert sum(served.values()) == len(requests)
+        assert all(count > 0 for count in served.values())
+
+    def test_hash_failover_rotates_from_the_owner(self, fitted_engine,
+                                                  requests):
+        flaky = FlakyBackend(InProcessBackend(fitted_engine))
+        backup = FlakyBackend(InProcessBackend(fitted_engine))
+        router = ClusterRouter([("a", flaky), ("b", backup)], replication=2,
+                               replica_policy="hash")
+        flaky.die()
+        responses = router.select_many(requests)
+        assert all(isinstance(r, SelectionResponse) for r in responses)
+        dead = {m["name"]: m["dead"] for m in router.stats()["members"]}
+        assert dead == {"a": True, "b": False}
 
     def test_least_inflight_prefers_idle_members(self, fitted_engine):
         members = [("a", InProcessBackend(fitted_engine)),

@@ -1,0 +1,168 @@
+"""Tests for the open-loop load harness (repro.loadgen).
+
+The harness's contract is reproducibility first: a schedule is a pure
+function of its seed (fingerprint-checkable), and a run's accounting
+(completed / rejected / errors, offered vs achieved) must stay honest
+against backends that reject requests or die mid-session.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.loadgen import (
+    LoadgenReport,
+    build_schedule,
+    find_knee,
+    run_open_loop,
+    sample_sessions,
+)
+from repro.serve import BackendError, InProcessBackend
+
+
+@pytest.fixture(scope="module")
+def sessions(fitted_engine):
+    return sample_sessions(
+        fitted_engine.binned, dataset=None, n_sessions=4, seed=7, k=3, l=3
+    )
+
+
+class TestSampleSessions:
+    def test_sessions_are_request_tuples(self, sessions):
+        assert len(sessions) == 4
+        for session in sessions:
+            assert session  # every session has at least one step
+            for request in session:
+                assert request.k == 3
+                assert request.dataset is None
+                assert request.query
+
+    def test_dataset_tag_rides_every_step(self, fitted_engine):
+        tagged = sample_sessions(
+            fitted_engine.binned, dataset="planted", n_sessions=2, seed=7
+        )
+        assert all(request.dataset == "planted"
+                   for session in tagged for request in session)
+
+
+class TestBuildSchedule:
+    def test_same_seed_same_fingerprint(self, sessions):
+        kwargs = dict(arrival_rate=50.0, n_sessions=12,
+                      mean_think_seconds=0.001)
+        first = build_schedule({"": sessions}, seed=3, **kwargs)
+        second = build_schedule({"": sessions}, seed=3, **kwargs)
+        third = build_schedule({"": sessions}, seed=4, **kwargs)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.fingerprint() != third.fingerprint()
+
+    def test_zipf_prefers_low_ranked_datasets(self, sessions):
+        schedule = build_schedule(
+            {"a": sessions, "b": sessions, "c": sessions},
+            seed=0, arrival_rate=100.0, n_sessions=60, zipf_exponent=1.5,
+        )
+        mix = schedule.dataset_mix()
+        assert set(mix) == {"a", "b", "c"}
+        assert mix["a"] > mix["c"]  # rank 1 is hottest
+
+    def test_arrivals_are_ordered_with_matching_think_times(self, sessions):
+        schedule = build_schedule({"": sessions}, seed=1, arrival_rate=20.0,
+                                  n_sessions=8)
+        times = [event.time for event in schedule.arrivals]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        for event in schedule.arrivals:
+            assert len(event.think_times) == len(event.requests) - 1
+        assert schedule.n_sessions == 8
+        assert schedule.n_requests == sum(
+            len(e.requests) for e in schedule.arrivals
+        )
+        assert schedule.duration_seconds == times[-1]
+
+    def test_sessions_replay_round_robin_per_dataset(self, sessions):
+        schedule = build_schedule({"": sessions}, seed=2, arrival_rate=50.0,
+                                  n_sessions=len(sessions) * 2)
+        replays = [event.requests for event in schedule.arrivals]
+        assert replays[:len(sessions)] == replays[len(sessions):]
+
+    def test_validation(self, sessions):
+        with pytest.raises(ValueError, match="seed"):
+            build_schedule({"": sessions}, seed=None, arrival_rate=1.0,
+                           n_sessions=2)
+        with pytest.raises(ValueError, match="arrival_rate"):
+            build_schedule({"": sessions}, seed=0, arrival_rate=0.0,
+                           n_sessions=2)
+        with pytest.raises(ValueError, match="no datasets"):
+            build_schedule({}, seed=0, arrival_rate=1.0, n_sessions=2)
+        with pytest.raises(ValueError, match="no sessions"):
+            build_schedule({"empty": []}, seed=0, arrival_rate=1.0,
+                           n_sessions=2)
+
+
+def _fast_schedule(sessions, n_sessions=6, seed=5):
+    # High arrival rate + tiny think times: the whole run takes well
+    # under a second of wall clock.
+    return build_schedule({"": sessions}, seed=seed, arrival_rate=200.0,
+                          n_sessions=n_sessions, mean_think_seconds=0.0005)
+
+
+class TestRunOpenLoop:
+    def test_drives_a_real_backend_and_accounts_everything(
+        self, fitted_engine, sessions
+    ):
+        schedule = _fast_schedule(sessions)
+        backend = InProcessBackend(fitted_engine)
+        try:
+            report = run_open_loop(backend, schedule, max_sessions=8)
+        finally:
+            backend.close()
+        assert report.completed_sessions == schedule.n_sessions
+        assert report.errors == 0
+        # every request either completed or was rejected (degenerate
+        # generated states) — none vanished
+        assert report.completed_requests + report.rejected == \
+            schedule.n_requests
+        assert report.completed_requests > 0
+        assert report.latency["count"] == report.completed_requests
+        assert report.achieved_qps > 0
+        assert report.schedule_fingerprint == schedule.fingerprint()
+
+    def test_backend_errors_abort_the_session(self, sessions):
+        class DeadBackend:
+            def select(self, request):
+                raise BackendError("host down")
+
+        schedule = _fast_schedule(sessions, n_sessions=3)
+        report = run_open_loop(DeadBackend(), schedule, max_sessions=4)
+        assert report.errors == 3          # one per session, then abort
+        assert report.completed_sessions == 0
+        assert report.completed_requests == 0
+
+    def test_max_sessions_validated(self, sessions):
+        with pytest.raises(ValueError, match="max_sessions"):
+            run_open_loop(object(), _fast_schedule(sessions), max_sessions=0)
+
+
+class TestFindKnee:
+    def _report(self, offered, achieved):
+        return LoadgenReport(
+            offered_sessions=1, offered_requests=10, offered_qps=offered,
+            completed_sessions=1, completed_requests=10, rejected=0,
+            errors=0, duration_seconds=1.0, achieved_qps=achieved,
+            latency={}, arrival_rate=offered, schedule_fingerprint="x",
+        )
+
+    def test_picks_highest_rate_above_threshold(self):
+        reports = [self._report(10, 10), self._report(20, 19.5),
+                   self._report(40, 20)]
+        knee = find_knee(reports)
+        assert knee is not None and knee.offered_qps == 20
+
+    def test_none_when_everything_saturates(self):
+        assert find_knee([self._report(10, 2)]) is None
+
+    def test_report_round_trips_to_json(self):
+        payload = self._report(10, 9).to_json()
+        assert payload["saturation_ratio"] == pytest.approx(0.9)
+        assert set(payload) == {
+            f.name for f in dataclasses.fields(LoadgenReport)
+        } | {"saturation_ratio"}
