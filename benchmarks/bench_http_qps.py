@@ -1,0 +1,100 @@
+"""HTTP gateway throughput — the front door vs the raw socket path.
+
+The gateway satellite's measured claim: putting an HTTP/1.1 face (with
+API-key tenancy and admission control) on the serving stack keeps it a
+*front door*, not a bottleneck.  One store-backed asyncio server
+subprocess hosts the fitted engine; the same seeded open-loop schedule
+is replayed twice:
+
+1. **raw socket** — a pipelined ``AsyncRemoteBackend``, the fastest
+   client the stack offers (the upper bound on what the server leg can
+   deliver for this workload);
+2. **http gateway** — an ``HttpGateway`` fronting an identical pipelined
+   client, driven by three authenticated tenants round-robinning their
+   sessions over keep-alive HTTP connections, exactly how external
+   tooling would arrive.
+
+Both legs rebuild the schedule from the same seed and assert fingerprint
+equality, so the committed record doubles as a reproducibility proof —
+and both must serve the whole workload with zero errors (admission is
+configured wide; this bench measures overhead, not shedding).
+
+Output: ``benchmarks/out/bench_http_qps.json`` (override the directory
+with ``REPRO_BENCH_OUT``).  The committed trajectory record lives at the
+repo root as ``BENCH_http_qps.json`` and gates in CI via
+``scripts/ci/bench_gate.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench import run_http_qps_experiment
+
+DEFAULT_OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def _out_path() -> Path:
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT_DIR))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / "bench_http_qps.json"
+
+
+def test_http_qps(benchmark, once, capsys):
+    result = once(
+        benchmark,
+        run_http_qps_experiment,
+        dataset_name="cyber",
+        arrival_rate=8.0,
+        n_sessions=24,
+        sessions_per_dataset=8,
+        n_rows=1500,
+        k=10,
+        l=7,
+        seed=0,
+        window=64,
+        n_tenants=3,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    payload = result.to_json()
+    path = _out_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    with capsys.disabled():
+        print(f"wrote {path}")
+
+    # The workload regenerated bit-identically for both legs.
+    assert result.schedule_fingerprint
+    assert result.raw_socket["schedule_fingerprint"] \
+        == result.schedule_fingerprint
+    assert result.gateway["schedule_fingerprint"] \
+        == result.schedule_fingerprint
+
+    # Both front ends served the whole workload, error-free (generated
+    # degenerate states are rejected identically on both paths).
+    assert result.raw_socket["errors"] == 0
+    assert result.gateway["errors"] == 0
+    assert result.gateway["completed_requests"] \
+        == result.raw_socket["completed_requests"]
+    assert result.gateway["rejected"] == result.raw_socket["rejected"]
+
+    # Every tenant genuinely carried traffic through the front door.
+    assert len(result.tenant_served) == 3
+    assert all(count > 0 for count in result.tenant_served.values()), (
+        f"idle tenant: {result.tenant_served}"
+    )
+    # No request was shed: this record measures overhead, not admission.
+    assert result.gateway_status.get("4xx", 0) == 0
+    assert result.gateway_status.get("5xx", 0) == 0
+
+    # The front door must stay in the same league as the raw socket.
+    # Open-loop with think times is latency-tolerant, so the bar guards
+    # against pathology (a serialized gateway, a per-request dial), not
+    # against the honest per-request parsing cost.
+    assert result.gateway_fraction > 0.5, (
+        f"gateway delivers only {result.gateway_fraction:.2f}x the raw "
+        f"socket throughput ({result.gateway['achieved_qps']:.1f} vs "
+        f"{result.raw_socket['achieved_qps']:.1f} QPS)"
+    )

@@ -52,21 +52,32 @@ def _headline_qps(record: dict) -> dict:
         if not knee:
             return {}
         return {"knee_achieved": knee["achieved_qps"]}
+    if experiment == "http_qps":
+        return {
+            "gateway": record["gateway"]["achieved_qps"],
+            "raw_socket": record["raw_socket"]["achieved_qps"],
+        }
     raise ValueError(f"no QPS extraction for experiment {experiment!r}")
 
 
 def _headline_p99(record: dict) -> dict:
     """``{label: (p99_seconds, sample_count)}`` latency figures of one
     bench record (empty for experiments without latency headlines)."""
-    if record.get("experiment") != "loadgen":
-        return {}
-    knee = record.get("knee")
-    if not knee:
-        return {}
-    latency = knee.get("latency", {})
-    if "p99" not in latency:
-        return {}
-    return {"knee_p99": (latency["p99"], latency.get("count", 0))}
+    experiment = record.get("experiment")
+    if experiment == "loadgen":
+        knee = record.get("knee")
+        if not knee:
+            return {}
+        latency = knee.get("latency", {})
+        if "p99" not in latency:
+            return {}
+        return {"knee_p99": (latency["p99"], latency.get("count", 0))}
+    if experiment == "http_qps":
+        latency = record.get("gateway", {}).get("latency", {})
+        if "p99" not in latency:
+            return {}
+        return {"gateway_p99": (latency["p99"], latency.get("count", 0))}
+    return {}
 
 
 def compare(reference_path: Path, fresh_path: Path, tolerance: float,

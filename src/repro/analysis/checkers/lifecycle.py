@@ -39,6 +39,7 @@ WATCHED_CONSTRUCTORS = {
     "AsyncRemoteBackend", "InProcessBackend", "PoolBackend",
     "ClusterRouter", "artifact_backend", "spawn_artifact_server",
     "spawn_store_server",
+    "HttpGateway", "HttpServer", "HttpBackend", "GatewayApp",
 }
 
 _RELEASE_METHODS = {"close", "stop", "kill", "terminate", "shutdown"}

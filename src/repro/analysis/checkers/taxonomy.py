@@ -28,12 +28,15 @@ import ast
 
 from repro.analysis.framework import Checker, ModuleContext, walk_scope
 
-#: The project's typed error vocabulary (serve/errors.py + api/wire.py).
+#: The project's typed error vocabulary (serve/errors.py + api/wire.py
+#: + the gateway's HTTP-facing refinements in gateway/).
 TYPED_ERRORS = {
     "BackendError", "RequestError", "TransportError", "PoolError",
     "PoolWorkerDied", "PoolRequestError", "RemoteServerError",
     "RemoteRequestError", "ClusterError", "PipelineCancelled",
     "WireFormatError",
+    "HttpError", "GatewayAuthError", "TenantForbiddenError",
+    "TenantConfigError", "AdmissionRejected",
 }
 
 _BROAD = {"Exception", "BaseException"}
@@ -43,10 +46,10 @@ _UNTYPED_RAISES = {"Exception", "BaseException", "RuntimeError"}
 class ErrorTaxonomyChecker(Checker):
     name = "error-taxonomy"
     description = (
-        "serve/ code must raise typed errors and re-wrap or re-raise "
-        "inside broad `except Exception` handlers"
+        "serve/ and gateway/ code must raise typed errors and re-wrap "
+        "or re-raise inside broad `except Exception` handlers"
     )
-    scope = ("serve",)
+    scope = ("serve", "gateway")
 
     def check_module(self, ctx: ModuleContext) -> list:
         findings = []

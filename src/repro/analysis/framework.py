@@ -3,9 +3,10 @@
 A checker is a small class with a ``name`` (the rule id reported in
 findings and used by ``--select`` and pragma suppression), a one-line
 ``description`` (shown by ``--list-rules`` and in the README), and a
-``scope`` — path parts a module's repo-relative path must contain for the
-rule to apply (``("serve",)`` limits a rule to the serving stack; the
-empty tuple means everywhere).  The runner parses each module once,
+``scope`` — path parts, any one of which a module's repo-relative path
+must contain for the rule to apply (``("serve", "gateway")`` limits a
+rule to the serving stack and the HTTP gateway; the empty tuple means
+everywhere).  The runner parses each module once,
 hands every applicable checker a :class:`ModuleContext`, and collects
 :class:`Finding` objects; checkers that need cross-file state (the wire
 codec completeness rule) accumulate it in ``check_module`` and emit from
@@ -125,13 +126,14 @@ class Checker:
 
     name: str = ""
     description: str = ""
-    #: Path parts a module's display path must contain for this rule to
-    #: apply; empty means every module.
+    #: Path parts, **any one** of which a module's display path must
+    #: contain for this rule to apply; empty means every module.
     scope: tuple = ()
 
     def applies_to(self, display_path: str) -> bool:
         parts = display_path.split("/")
-        return all(required in parts for required in self.scope)
+        return not self.scope or any(required in parts
+                                     for required in self.scope)
 
     def check_module(self, ctx: ModuleContext) -> list:
         return []

@@ -24,6 +24,7 @@ from repro.bench.harness import (
 from repro.bench.experiments import (
     AsyncQPSResult,
     ClusterQPSResult,
+    HttpQPSResult,
     LoadgenResult,
     ParameterTuningResult,
     PoolQPSResult,
@@ -35,6 +36,7 @@ from repro.bench.experiments import (
     UserStudyExperimentResult,
     run_async_qps_experiment,
     run_cluster_qps_experiment,
+    run_http_qps_experiment,
     run_loadgen_experiment,
     run_parameter_tuning_experiment,
     run_pool_qps_experiment,
@@ -51,6 +53,7 @@ __all__ = [
     "AsyncQPSResult",
     "BENCH_ROWS",
     "ClusterQPSResult",
+    "HttpQPSResult",
     "DatasetBundle",
     "LoadgenResult",
     "ParameterTuningResult",
@@ -70,6 +73,7 @@ __all__ = [
     "prepare_selectors",
     "run_async_qps_experiment",
     "run_cluster_qps_experiment",
+    "run_http_qps_experiment",
     "run_loadgen_experiment",
     "run_parameter_tuning_experiment",
     "run_pool_qps_experiment",

@@ -1653,3 +1653,253 @@ def run_async_qps_experiment(
     finally:
         if artifact_dir is None:  # only clean up the directory we created
             shutil.rmtree(artifact, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# HTTP gateway QPS — the front door vs the raw socket transport
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HttpQPSResult:
+    """One open-loop workload through two front ends of the same server.
+
+    The same seeded schedule (fingerprint-checked, so both legs replay
+    byte-identical workloads) is driven against one store-backed asyncio
+    server twice: once through a raw pipelined
+    :class:`~repro.serve.AsyncRemoteBackend` (the fastest path the stack
+    offers) and once through the HTTP gateway — ``n_tenants`` API-keyed
+    tenants round-robinning their sessions over per-thread keep-alive
+    connections, exactly how external tooling would arrive.  The spread
+    between the two legs is the measured price of the HTTP front door
+    (parsing, auth, admission, an executor hop) at serving load.
+    """
+
+    dataset: str
+    seed: int
+    k: int
+    l: int
+    n_sessions: int
+    arrival_rate: float
+    n_tenants: int
+    window: int
+    cache_size: int
+    max_inflight: int
+    fit_seconds: float = 0.0
+    raw_socket: dict = field(default_factory=dict)
+    gateway: dict = field(default_factory=dict)
+    tenant_served: dict = field(default_factory=dict)
+    gateway_status: dict = field(default_factory=dict)
+    schedule_fingerprint: str = ""
+
+    @property
+    def gateway_fraction(self) -> float:
+        """Gateway QPS over raw-socket QPS (1.0: the front door is free)."""
+        raw = self.raw_socket.get("achieved_qps", 0.0)
+        if raw <= 0:
+            return 0.0
+        return self.gateway.get("achieved_qps", 0.0) / raw
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "http_qps",
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "k": self.k,
+            "l": self.l,
+            "n_sessions": self.n_sessions,
+            "arrival_rate": self.arrival_rate,
+            "n_tenants": self.n_tenants,
+            "window": self.window,
+            "cache_size": self.cache_size,
+            "max_inflight": self.max_inflight,
+            "fit_seconds": self.fit_seconds,
+            "raw_socket": dict(self.raw_socket),
+            "gateway": dict(self.gateway),
+            "gateway_fraction": self.gateway_fraction,
+            "tenant_served": dict(self.tenant_served),
+            "gateway_status": dict(self.gateway_status),
+            "schedule_fingerprint": self.schedule_fingerprint,
+        }
+
+    def render(self) -> str:
+        rows = []
+        for label, record in (("raw socket", self.raw_socket),
+                              ("http gateway", self.gateway)):
+            latency = record.get("latency", {})
+            rows.append([
+                label,
+                record.get("achieved_qps", 0.0),
+                record.get("saturation_ratio", 0.0),
+                latency.get("p50", 0.0),
+                latency.get("p99", 0.0),
+                record.get("errors", 0),
+            ])
+        table = format_table(
+            f"HTTP gateway vs raw socket ({self.dataset}, "
+            f"{self.n_sessions} sessions at {self.arrival_rate:g}/s, "
+            f"{self.n_tenants} tenants)",
+            ["front end", "achieved QPS", "ratio", "p50 s", "p99 s",
+             "errors"],
+            rows,
+        )
+        tenants = "   ".join(
+            f"{name}={count}" for name, count in
+            sorted(self.tenant_served.items())
+        )
+        return (
+            f"{table}\n"
+            f"gateway/raw throughput: {self.gateway_fraction:.2f}x   "
+            f"per-tenant requests: {tenants}\n"
+            f"schedule fingerprint: {self.schedule_fingerprint}"
+        )
+
+
+def run_http_qps_experiment(
+    dataset_name: str = "cyber",
+    arrival_rate: float = 8.0,
+    n_sessions: int = 24,
+    sessions_per_dataset: int = 8,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = None,
+    mean_think_seconds: float = 0.02,
+    window: int = 64,
+    cache_size: int = 256,
+    max_sessions: int = 64,
+    n_tenants: int = 3,
+    max_inflight: int = 512,
+) -> HttpQPSResult:
+    """Measure the HTTP front door against the raw socket transport.
+
+    One store-backed asyncio server subprocess hosts the fitted engine;
+    the same seeded open-loop schedule is replayed through (a) a
+    pipelined socket client and (b) the HTTP gateway fronting an
+    identical socket client, with ``n_tenants`` authenticated tenants
+    sharing the load round-robin.  Both schedules are rebuilt from seed
+    and fingerprint-compared, so the committed record doubles as a
+    reproducibility proof.
+    """
+    import itertools
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.api import ArtifactStore, Engine
+    from repro.gateway import HttpBackend, HttpGateway, TenantRegistry, \
+        TenantSpec
+    from repro.loadgen import build_schedule, run_open_loop, sample_sessions
+    from repro.serve import AsyncRemoteBackend, spawn_store_server
+
+    result = HttpQPSResult(
+        dataset=dataset_name,
+        seed=seed,
+        k=k,
+        l=l,
+        n_sessions=n_sessions,
+        arrival_rate=arrival_rate,
+        n_tenants=n_tenants,
+        window=window,
+        cache_size=cache_size,
+        max_inflight=max_inflight,
+    )
+    root = tempfile.mkdtemp(prefix="repro-http-qps-")
+    try:
+        store = ArtifactStore(root)
+        bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+        engine = Engine("subtab", config=SubTabConfig(k=k, l=l, seed=seed))
+        fit_start = time.perf_counter()
+        engine.fit(bundle.frame, binned=bundle.binned)
+        result.fit_seconds = time.perf_counter() - fit_start
+        store.save(dataset_name, engine)
+        sessions = {dataset_name: sample_sessions(
+            bundle.binned,
+            dataset=dataset_name,
+            n_sessions=sessions_per_dataset,
+            seed=seed,
+            k=k,
+            l=l,
+            pattern_columns=bundle.dataset.pattern_columns,
+        )}
+
+        def schedule():
+            return build_schedule(
+                sessions,
+                seed=seed,
+                arrival_rate=arrival_rate,
+                n_sessions=n_sessions,
+                mean_think_seconds=mean_think_seconds,
+            )
+
+        first = schedule()
+        if first.fingerprint() != schedule().fingerprint():
+            raise RuntimeError(
+                f"schedule is not reproducible from seed {seed}"
+            )
+        result.schedule_fingerprint = first.fingerprint()
+
+        with spawn_store_server(
+            root, capacity=4, cache_size=cache_size, transport="asyncio",
+        ) as server:
+            # Leg 1: the raw pipelined socket client.
+            raw = AsyncRemoteBackend(server.address, window=window)
+            try:
+                result.raw_socket = run_open_loop(
+                    raw, first, max_sessions=max_sessions
+                ).to_json()
+            finally:
+                raw.close()
+
+            # Leg 2: the HTTP gateway fronting an identical client,
+            # driven by n_tenants authenticated tenants round-robin.
+            registry = TenantRegistry(
+                [TenantSpec(name=f"tenant{i}", key=f"tenant{i}-key")
+                 for i in range(n_tenants)],
+                max_inflight=max_inflight,
+            )
+            remote = AsyncRemoteBackend(server.address, window=window)
+            gateway = HttpGateway(
+                remote, tenants=registry, own_backend=True,
+                dispatch_threads=16,
+            ).start()
+            clients = [
+                HttpBackend(gateway.address, api_key=f"tenant{i}-key")
+                for i in range(n_tenants)
+            ]
+
+            class _TenantFanout:
+                """Round-robins selects over the tenants' HTTP clients
+                (the loadgen harness drives one backend object)."""
+
+                def __init__(self) -> None:
+                    self._turn = itertools.count()
+                    self._lock = threading.Lock()
+
+                def select(self, request):
+                    with self._lock:
+                        turn = next(self._turn)
+                    return clients[turn % len(clients)].select(request)
+
+            try:
+                result.gateway = run_open_loop(
+                    _TenantFanout(), schedule(), max_sessions=max_sessions
+                ).to_json()
+                snapshot = gateway.app.metrics.snapshot()
+                result.tenant_served = {
+                    name.split(".")[2]: record["value"]
+                    for name, record in snapshot.items()
+                    if name.startswith("gateway.tenant.")
+                    and name.endswith(".requests")
+                }
+                result.gateway_status = {
+                    name.split(".")[2]: record["value"]
+                    for name, record in snapshot.items()
+                    if name.startswith("gateway.status.")
+                }
+            finally:
+                for client in clients:
+                    client.close()
+                gateway.close()
+        return result
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -138,18 +138,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="pool request routing: one shared queue, or "
                             "per-worker queues keyed by request hash "
                             "(shards the selection LRUs)")
-    serve.add_argument("--transport", choices=["inproc", "socket", "asyncio"],
+    serve.add_argument("--transport",
+                       choices=["inproc", "socket", "asyncio", "http"],
                        default="inproc",
                        help="inproc: drive the backend in this process; "
                             "socket: expose it as a length-prefixed JSON "
                             "socket server on --host/--port; asyncio: same "
                             "wire format through the pipelined asyncio "
-                            "server (many frames in flight per connection)")
+                            "server (many frames in flight per connection); "
+                            "http: the JSON/HTTP gateway (POST /v1/select, "
+                            "streaming sessions, multi-tenant admission)")
     serve.add_argument("--host", default="127.0.0.1",
-                       help="bind address for --transport socket/asyncio")
+                       help="bind address for --transport "
+                            "socket/asyncio/http")
     serve.add_argument("--port", type=int, default=7341,
-                       help="bind port for --transport socket/asyncio "
+                       help="bind port for --transport socket/asyncio/http "
                             "(0: ephemeral)")
+    serve.add_argument("--tenants", default=None, metavar="FILE",
+                       help="with --transport http: tenant config JSON "
+                            "(API keys, rate limits, max_inflight); "
+                            "omitted: the gateway is open (no auth)")
     serve.add_argument("--connect", default=None, metavar="HOST:PORT[,...]",
                        help="serve through remote socket server(s); several "
                             "comma-separated members form a consistent-hash "
@@ -169,7 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "least_inflight")
     serve.add_argument("--stats-interval", type=float, default=0.0,
                        metavar="SECONDS",
-                       help="with --transport socket/asyncio: every N "
+                       help="with --transport socket/asyncio/http: every N "
                             "seconds, print the backend's stats() snapshot "
                             "(served/errors plus the metrics section) as "
                             "one JSON line (0: off)")
@@ -358,22 +366,39 @@ def _serve_socket(args) -> int:
     """Expose the locally built backend on a TCP address (server mode)."""
     from repro.serve import AsyncSocketServer, SocketServer, artifact_backend
 
+    registry = None
+    if args.transport == "http" and args.tenants is not None:
+        from repro.gateway import TenantConfigError, TenantRegistry
+
+        try:
+            # Validate before building the backend or binding the port:
+            # a config typo should fail fast, not lock tenants out.
+            registry = TenantRegistry.from_file(args.tenants)
+        except TenantConfigError as error:
+            raise SystemExit(f"serve: {error}")
     backend = artifact_backend(
         args.artifact,
         workers=args.workers,
         cache_size=args.cache_size,
         routing=args.routing,
     )
-    if args.transport == "asyncio":
+    if args.transport == "http":
+        from repro.gateway import HttpGateway
+
+        server = HttpGateway(backend, host=args.host, port=args.port,
+                             tenants=registry, own_backend=True).start()
+    elif args.transport == "asyncio":
         server = AsyncSocketServer(backend, host=args.host, port=args.port,
                                    own_backend=True).start()
     else:
         server = SocketServer(backend, host=args.host, port=args.port,
                               own_backend=True)
     host, port = server.address
+    tenancy = ("" if registry is None
+               else f", tenants={len(registry)}")
     print(f"serving {args.artifact} on {host}:{port} "
           f"(transport={args.transport}, workers={args.workers}, "
-          f"routing={args.routing}); Ctrl-C to stop", flush=True)
+          f"routing={args.routing}{tenancy}); Ctrl-C to stop", flush=True)
     stop_reporter = _start_stats_reporter(backend, args.stats_interval)
     try:
         server.serve_forever()
@@ -395,7 +420,10 @@ def _cmd_serve(args) -> int:
     if args.connect and args.transport != "inproc":
         raise SystemExit("serve: --connect is a client mode; it cannot be "
                          f"combined with --transport {args.transport}")
-    if args.transport in ("socket", "asyncio"):
+    if args.tenants and args.transport != "http":
+        raise SystemExit("serve: --tenants configures the HTTP gateway; "
+                         "it requires --transport http")
+    if args.transport in ("socket", "asyncio", "http"):
         return _serve_socket(args)
 
     # One code path for every topology: build a backend, drive it.

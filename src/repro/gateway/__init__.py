@@ -1,0 +1,70 @@
+"""HTTP/JSON gateway: the stack's front door for standard tooling.
+
+Every other serving topology speaks the custom length-prefixed socket
+framing; this package puts an HTTP/1.1 face on **any**
+:class:`~repro.serve.backend.ExecutionBackend` (engine, pool, cluster —
+topologies nest unchanged behind it):
+
+* :mod:`repro.gateway.http` — a dependency-free asyncio HTTP/1.1 server
+  (parsing with hard caps, keep-alive, chunked streaming);
+* :mod:`repro.gateway.tenants` — API-key tenancy, per-tenant token
+  buckets, and the global concurrency-cap admission controller;
+* :mod:`repro.gateway.app` — routes, taxonomy → status mapping, tenant
+  metrics, and ``X-Trace-Id`` propagation into the wire-envelope trace;
+* :mod:`repro.gateway.client` — :class:`HttpBackend`, the gateway as an
+  ``ExecutionBackend`` for the loadgen harness and the benches.
+"""
+
+from repro.gateway.app import (
+    ANONYMOUS,
+    GatewayApp,
+    HttpGateway,
+    session_steps,
+)
+from repro.gateway.client import HttpBackend
+from repro.gateway.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    MAX_REQUEST_LINE_BYTES,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    StreamingResponse,
+    read_request,
+)
+from repro.gateway.tenants import (
+    AdmissionController,
+    AdmissionRejected,
+    GatewayAuthError,
+    TenantConfigError,
+    TenantForbiddenError,
+    TenantRegistry,
+    TenantSpec,
+    TokenBucket,
+)
+
+__all__ = [
+    "ANONYMOUS",
+    "AdmissionController",
+    "AdmissionRejected",
+    "GatewayApp",
+    "GatewayAuthError",
+    "HttpBackend",
+    "HttpError",
+    "HttpGateway",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_REQUEST_LINE_BYTES",
+    "StreamingResponse",
+    "TenantConfigError",
+    "TenantForbiddenError",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "read_request",
+    "session_steps",
+]

@@ -1,0 +1,317 @@
+"""Tenant auth + admission control for the HTTP gateway.
+
+Three concerns, one module:
+
+* **Who is calling** — :class:`TenantRegistry` maps API keys to
+  :class:`TenantSpec` entries loaded from a JSON config file.  An
+  unknown key is :class:`GatewayAuthError` (→ 401); a known-but-disabled
+  tenant is :class:`TenantForbiddenError` (→ 403); a malformed config
+  file is :class:`TenantConfigError`, raised at *load* time so a typo
+  fails the CLI fast instead of locking every tenant out at runtime.
+* **How fast they may call** — each tenant gets a :class:`TokenBucket`
+  (``rate`` requests/second sustained, ``burst`` above it).  Exhaustion
+  is :class:`AdmissionRejected` carrying ``retry_after`` seconds (→ 429
+  + ``Retry-After``).
+* **How much runs at once** — :class:`AdmissionController` caps global
+  in-flight dispatches so load is shed at the front door *before* the
+  backend saturates; the cap applies across tenants.
+
+Error placement in the taxonomy (see :mod:`repro.serve.errors`):
+auth failures are :class:`~repro.serve.errors.RequestError` — the same
+key fails on every replica, never retry.  :class:`AdmissionRejected` is
+a :class:`~repro.serve.errors.BackendError` — *this* gateway is out of
+capacity right now; another replica (or a later retry) may serve.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.serve.errors import BackendError, RequestError
+
+
+class GatewayAuthError(RequestError):
+    """The request carried no API key, or one no tenant owns (→ 401)."""
+
+
+class TenantForbiddenError(RequestError):
+    """The API key belongs to a tenant that is disabled (→ 403)."""
+
+
+class TenantConfigError(RequestError):
+    """The tenants JSON config is malformed (missing keys, bad types)."""
+
+
+class AdmissionRejected(BackendError):
+    """Load was shed (rate limit or concurrency cap); retry later.
+
+    ``retry_after`` is the suggested wait in seconds — the gateway turns
+    it into a ``Retry-After`` header on the 429 reply.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity and limits.
+
+    ``rate`` is sustained requests/second (``0``: unlimited); ``burst``
+    is the bucket depth — how far a tenant may run ahead of its rate.
+    """
+
+    name: str
+    key: str
+    rate: float = 0.0
+    burst: int = 8
+    enabled: bool = True
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/second, ``burst`` deep.
+
+    ``try_acquire`` never blocks: it returns ``0.0`` and spends a token,
+    or the seconds until a token will exist.  The clock is injectable so
+    tests drive it deterministically.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate < 0:
+            raise TenantConfigError(f"rate must be >= 0, got {rate}")
+        if burst < 1:
+            raise TenantConfigError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def try_acquire(self) -> float:
+        """``0.0`` on admit (a token is spent), else seconds to wait."""
+        if self.rate <= 0:
+            return 0.0  # unlimited tenant
+        now = self._clock()
+        with self._lock:
+            elapsed = max(0.0, now - self._updated)
+            self._tokens = min(float(self.burst),
+                               self._tokens + elapsed * self.rate)
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Global in-flight cap: admit or shed, never queue.
+
+    ``acquire()`` raises :class:`AdmissionRejected` when ``max_inflight``
+    dispatches are already running — queueing at the front door would
+    just move the saturation point, so the controller sheds instead and
+    tells the client when to retry.
+    """
+
+    def __init__(self, max_inflight: int = 64):
+        if max_inflight < 1:
+            raise TenantConfigError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = int(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def acquire(self) -> None:
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                raise AdmissionRejected(
+                    f"gateway at its concurrency cap "
+                    f"({self.max_inflight} in flight)",
+                    retry_after=1.0,
+                )
+            self._inflight += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+
+def _parse_tenant(index: int, entry: object) -> TenantSpec:
+    if not isinstance(entry, dict):
+        raise TenantConfigError(
+            f"tenants[{index}] must be an object, got "
+            f"{type(entry).__name__}"
+        )
+    unknown = set(entry) - {"name", "key", "rate", "burst", "enabled"}
+    if unknown:
+        raise TenantConfigError(
+            f"tenants[{index}] has unknown field(s) "
+            f"{', '.join(sorted(unknown))}"
+        )
+    name = entry.get("name")
+    key = entry.get("key")
+    if not isinstance(name, str) or not name:
+        raise TenantConfigError(
+            f"tenants[{index}].name must be a non-empty string"
+        )
+    if not isinstance(key, str) or not key:
+        raise TenantConfigError(
+            f"tenants[{index}] ({name!r}).key must be a non-empty string"
+        )
+    rate = entry.get("rate", 0.0)
+    burst = entry.get("burst", 8)
+    enabled = entry.get("enabled", True)
+    if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
+            or rate < 0 or not math.isfinite(rate):
+        raise TenantConfigError(
+            f"tenant {name!r}: rate must be a finite number >= 0, "
+            f"got {rate!r}"
+        )
+    if not isinstance(burst, int) or isinstance(burst, bool) or burst < 1:
+        raise TenantConfigError(
+            f"tenant {name!r}: burst must be an integer >= 1, "
+            f"got {burst!r}"
+        )
+    if not isinstance(enabled, bool):
+        raise TenantConfigError(
+            f"tenant {name!r}: enabled must be a boolean, got {enabled!r}"
+        )
+    return TenantSpec(name=name, key=key, rate=float(rate),
+                      burst=int(burst), enabled=enabled)
+
+
+class TenantRegistry:
+    """API-key → tenant lookup plus each tenant's token bucket.
+
+    Built from :meth:`from_file` / :meth:`from_json` (the CLI's
+    ``--tenants FILE``) or directly from :class:`TenantSpec` objects in
+    tests.  Lookup and bucket access are lock-free after construction —
+    the registry is immutable once built.
+    """
+
+    def __init__(self, tenants: Iterable[TenantSpec],
+                 max_inflight: int = 64,
+                 clock: Callable[[], float] = time.monotonic):
+        specs = list(tenants)
+        by_key: Dict[str, TenantSpec] = {}
+        names = set()
+        for spec in specs:
+            if spec.name in names:
+                raise TenantConfigError(
+                    f"duplicate tenant name {spec.name!r}"
+                )
+            if spec.key in by_key:
+                raise TenantConfigError(
+                    f"tenant {spec.name!r} reuses the API key of "
+                    f"{by_key[spec.key].name!r}"
+                )
+            names.add(spec.name)
+            by_key[spec.key] = spec
+        if not by_key:
+            raise TenantConfigError("tenant config defines no tenants")
+        self.max_inflight = int(max_inflight)
+        self._by_key = by_key
+        self._buckets = {
+            spec.key: TokenBucket(spec.rate, spec.burst, clock=clock)
+            for spec in specs
+        }
+
+    @classmethod
+    def from_json(cls, payload: object,
+                  clock: Callable[[], float] = time.monotonic,
+                  ) -> "TenantRegistry":
+        """Build from the decoded config document::
+
+            {"max_inflight": 64,
+             "tenants": [{"name": "acme", "key": "acme-k1",
+                          "rate": 50.0, "burst": 10, "enabled": true}]}
+        """
+        if not isinstance(payload, dict):
+            raise TenantConfigError(
+                f"tenant config must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = set(payload) - {"tenants", "max_inflight"}
+        if unknown:
+            raise TenantConfigError(
+                f"tenant config has unknown field(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        entries = payload.get("tenants")
+        if not isinstance(entries, list):
+            raise TenantConfigError(
+                "tenant config needs a \"tenants\" array"
+            )
+        max_inflight = payload.get("max_inflight", 64)
+        if not isinstance(max_inflight, int) \
+                or isinstance(max_inflight, bool) or max_inflight < 1:
+            raise TenantConfigError(
+                f"max_inflight must be an integer >= 1, "
+                f"got {max_inflight!r}"
+            )
+        specs = [_parse_tenant(index, entry)
+                 for index, entry in enumerate(entries)]
+        return cls(specs, max_inflight=max_inflight, clock=clock)
+
+    @classmethod
+    def from_file(cls, path: "str | Path",
+                  clock: Callable[[], float] = time.monotonic,
+                  ) -> "TenantRegistry":
+        """Load and validate a tenants JSON file (typed errors on any
+        problem: missing file, bad JSON, bad schema)."""
+        config_path = Path(path)
+        try:
+            text = config_path.read_text()
+        except OSError as error:
+            raise TenantConfigError(
+                f"cannot read tenants file {config_path}: {error}"
+            ) from error
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise TenantConfigError(
+                f"tenants file {config_path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_json(payload, clock=clock)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def tenants(self) -> tuple:
+        return tuple(self._by_key.values())
+
+    def authenticate(self, api_key: Optional[str]) -> TenantSpec:
+        """The tenant owning ``api_key`` (typed errors, never ``None``)."""
+        if not api_key:
+            raise GatewayAuthError("no API key presented")
+        spec = self._by_key.get(api_key)
+        if spec is None:
+            raise GatewayAuthError("unknown API key")
+        if not spec.enabled:
+            raise TenantForbiddenError(f"tenant {spec.name!r} is disabled")
+        return spec
+
+    def admit(self, spec: TenantSpec) -> None:
+        """Charge one request to ``spec``'s token bucket
+        (:class:`AdmissionRejected` with ``retry_after`` on exhaustion)."""
+        wait = self._buckets[spec.key].try_acquire()
+        if wait > 0.0:
+            raise AdmissionRejected(
+                f"tenant {spec.name!r} exceeded its rate limit",
+                retry_after=wait,
+            )

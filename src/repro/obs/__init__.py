@@ -30,6 +30,8 @@ from repro.obs.trace import (
     TRACE_KEY,
     make_stage,
     next_trace_id,
+    propagate_trace_id,
+    resolve_trace_id,
     stage_seconds,
 )
 
@@ -47,5 +49,7 @@ __all__ = [
     "make_stage",
     "merge_snapshots",
     "next_trace_id",
+    "propagate_trace_id",
+    "resolve_trace_id",
     "stage_seconds",
 ]

@@ -25,8 +25,11 @@ source (the determinism lint bans unseeded draws; a counter needs none).
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 TRACE_KEY = "trace"
 
@@ -46,6 +49,42 @@ def next_trace_id(prefix: str = "req") -> str:
         _counter += 1
         value = _counter
     return f"{prefix}-{os.getpid()}-{value}"
+
+
+#: An externally supplied trace id (e.g. the HTTP gateway's incoming
+#: ``X-Trace-Id`` header) that the transports should reuse instead of
+#: minting their own — this is what stitches one request's stages across
+#: gateway → transport → server → backend into a single trace.
+_propagated_id: "contextvars.ContextVar[Optional[str]]" = \
+    contextvars.ContextVar("repro_trace_id", default=None)
+
+
+@contextmanager
+def propagate_trace_id(trace_id: str) -> Iterator[str]:
+    """Pin the trace id every transport in this context attaches.
+
+    A front door that received a caller-chosen id (the gateway's
+    ``X-Trace-Id`` header) wraps its backend call in this context so the
+    nested :class:`~repro.serve.transport.RemoteBackend` /
+    :class:`~repro.serve.aio.AsyncRemoteBackend` hops tag their frames
+    with the *same* id — the far server's stage timings then join the
+    caller's trace instead of starting a fresh one.  Context-local, so
+    concurrent requests cannot cross-contaminate (callers hopping to a
+    worker thread must carry the context across, e.g. via
+    ``contextvars.copy_context()``).
+    """
+    token = _propagated_id.set(str(trace_id))
+    try:
+        yield str(trace_id)
+    finally:
+        _propagated_id.reset(token)
+
+
+def resolve_trace_id(prefix: str = "req") -> str:
+    """The propagated trace id when one is pinned, else a fresh
+    :func:`next_trace_id` with ``prefix``."""
+    pinned = _propagated_id.get()
+    return pinned if pinned is not None else next_trace_id(prefix)
 
 
 def make_stage(stage: str, seconds: float) -> dict:

@@ -52,7 +52,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from repro.api.request import SelectionRequest, SelectionResponse
-from repro.obs import TRACE_KEY, make_stage, next_trace_id, stage_seconds
+from repro.obs import TRACE_KEY, make_stage, resolve_trace_id, stage_seconds
 from repro.serve.backend import BaseBackend
 from repro.serve.errors import (
     BackendError,
@@ -690,7 +690,7 @@ class AsyncRemoteBackend(BaseBackend):
     def _traced(self, message: dict) -> dict:
         if not self.trace:
             return message
-        return {**message, TRACE_KEY: {"id": next_trace_id("pipe")}}
+        return {**message, TRACE_KEY: {"id": resolve_trace_id("pipe")}}
 
     def _record_traces(self, replies: Sequence, timings) -> None:
         """Derive the client-only stages for every traced reply:

@@ -289,6 +289,14 @@ class ClusterRouter(BaseBackend):
         self.replica_policy = make_replica_policy(replica_policy)
         self.vnodes = vnodes
         self._own_members = own_members
+        #: Trace of the most recently served ``select`` — delegated from
+        #: the member that answered, so a front door (the HTTP gateway)
+        #: merging nested client stages sees ``transport`` /
+        #: ``client_queue`` timings through the router exactly as it
+        #: would fronting the member directly.  Last-write-wins under
+        #: concurrency, like every tracing client's ``last_trace``;
+        #: consumers match on the trace id.
+        self.last_trace: Optional[dict] = None
         self._failovers = 0
         self._dataset_traffic: Counter = Counter()
         # Guards the failure bookkeeping (_mark_failed / _failovers), which
@@ -429,6 +437,7 @@ class ClusterRouter(BaseBackend):
                     # This request was actually re-served after a member
                     # failure — that, and only that, is a failover.
                     self._failovers += 1
+            self.last_trace = getattr(member.backend, "last_trace", None)
             return response
         raise ClusterError(
             f"all {len(indices)} replica(s) failed for this request: "

@@ -72,7 +72,7 @@ from repro.obs import (
     TRACE_KEY,
     MetricsRegistry,
     make_stage,
-    next_trace_id,
+    resolve_trace_id,
     stage_seconds,
 )
 from repro.serve.backend import BaseBackend
@@ -518,7 +518,7 @@ class RemoteBackend(BaseBackend):
     def _call(self, message: dict, *, reconnect: bool = True) -> dict:
         self._require_open()
         if self.trace and TRACE_KEY not in message:
-            message = {**message, TRACE_KEY: {"id": next_trace_id("sync")}}
+            message = {**message, TRACE_KEY: {"id": resolve_trace_id("sync")}}
         fresh = self._sock is None
         start = time.perf_counter()
         try:
@@ -621,9 +621,32 @@ class RemoteBackend(BaseBackend):
 # Subprocess servers (benchmarks, tests, CLI-free embedding)
 # ---------------------------------------------------------------------------
 
+def _build_server(backend, host, port, transport, tenants=None):
+    """The bound server of one child process (shared by both mains).
+
+    ``"socket"``/``"asyncio"`` speak the length-prefixed framing;
+    ``"http"`` stands the JSON gateway up over the same backend
+    (``tenants``: optional path of a tenants config file).
+    """
+    if transport == "asyncio":
+        from repro.serve.aio import AsyncSocketServer
+
+        return AsyncSocketServer(backend, host=host, port=port,
+                                 own_backend=True).start()
+    if transport == "http":
+        from repro.gateway.app import HttpGateway
+        from repro.gateway.tenants import TenantRegistry
+
+        registry = (TenantRegistry.from_file(tenants)
+                    if tenants is not None else None)
+        return HttpGateway(backend, host=host, port=port,
+                           tenants=registry, own_backend=True).start()
+    return SocketServer(backend, host=host, port=port, own_backend=True)
+
+
 def _server_process_main(
     conn, artifact, workers, cache_size, routing, algorithm, host, port,
-    transport,
+    transport, tenants=None,
 ) -> None:
     from repro.serve.backend import artifact_backend
 
@@ -636,14 +659,8 @@ def _server_process_main(
             routing=routing,
             algorithm=algorithm,
         )
-        if transport == "asyncio":
-            from repro.serve.aio import AsyncSocketServer
-
-            server = AsyncSocketServer(backend, host=host, port=port,
-                                       own_backend=True).start()
-        else:
-            server = SocketServer(backend, host=host, port=port,
-                                  own_backend=True)
+        server = _build_server(backend, host, port, transport,
+                               tenants=tenants)
     # Crossing a process boundary: the failure text travels back over the
     # pipe and spawn_artifact_server re-wraps it as a typed TransportError.
     except Exception as error:  # reprolint: ignore[error-taxonomy]
@@ -683,6 +700,13 @@ class SpawnedServer:
 
         return AsyncRemoteBackend((self.host, self.port), **options)
 
+    def connect_http(self, **options):
+        """A fresh :class:`~repro.gateway.HttpBackend` speaking to this
+        server (requires ``transport="http"`` at spawn time)."""
+        from repro.gateway import HttpBackend
+
+        return HttpBackend((self.host, self.port), **options)
+
     def kill(self) -> None:
         """Hard-stop the server (simulates a member host dying)."""
         if self.process.is_alive():
@@ -714,6 +738,7 @@ def spawn_artifact_server(
     port: int = 0,
     startup_timeout: float = 120.0,
     transport: str = "socket",
+    tenants: "Optional[str | Path]" = None,
 ) -> SpawnedServer:
     """Start a socket server over ``artifact`` in a child process.
 
@@ -724,19 +749,23 @@ def spawn_artifact_server(
     back before serving.  ``transport`` picks the threaded
     :class:`SocketServer` (``"socket"``) or the pipelined
     :class:`~repro.serve.aio.AsyncSocketServer` (``"asyncio"``); both
-    speak the same framing, so either client connects to either.  This is
+    speak the same framing, so either client connects to either —
+    or the HTTP/JSON gateway (``"http"``, optionally with a ``tenants``
+    config path; connect with
+    :class:`~repro.gateway.client.HttpBackend`).  This is
     how the cluster benchmarks and the failover tests stand up members on
     one machine; production members are the same server started on real
-    hosts (``python -m repro serve --transport socket|asyncio``).
+    hosts (``python -m repro serve --transport socket|asyncio|http``).
     """
-    if transport not in ("socket", "asyncio"):
+    if transport not in ("socket", "asyncio", "http"):
         raise ValueError(f"unknown transport {transport!r}")
     context = multiprocessing.get_context()
     parent_conn, child_conn = context.Pipe()
     process = context.Process(
         target=_server_process_main,
         args=(child_conn, str(artifact), workers, cache_size, routing,
-              algorithm, host, port, transport),
+              algorithm, host, port, transport,
+              None if tenants is None else str(tenants)),
         # A pooled member must be able to fork its own workers, which
         # daemonic processes may not.
         daemon=(workers == 1),
@@ -761,6 +790,7 @@ def spawn_artifact_server(
 
 def _store_server_process_main(
     conn, store_path, capacity, cache_size, host, port, transport,
+    tenants=None,
 ) -> None:
     from repro.api.store import ArtifactStore
     from repro.serve.backend import InProcessBackend
@@ -772,14 +802,8 @@ def _store_server_process_main(
             capacity=capacity,
             cache_size=cache_size,
         )
-        if transport == "asyncio":
-            from repro.serve.aio import AsyncSocketServer
-
-            server = AsyncSocketServer(backend, host=host, port=port,
-                                       own_backend=True).start()
-        else:
-            server = SocketServer(backend, host=host, port=port,
-                                  own_backend=True)
+        server = _build_server(backend, host, port, transport,
+                               tenants=tenants)
     # Crossing a process boundary: the failure text travels back over the
     # pipe and spawn_store_server re-wraps it as a typed TransportError.
     except Exception as error:  # reprolint: ignore[error-taxonomy]
@@ -804,6 +828,7 @@ def spawn_store_server(
     port: int = 0,
     startup_timeout: float = 120.0,
     transport: str = "asyncio",
+    tenants: "Optional[str | Path]" = None,
 ) -> SpawnedServer:
     """Start a *multi-dataset* server over an :class:`ArtifactStore` path.
 
@@ -812,16 +837,19 @@ def spawn_store_server(
     server answers requests for every dataset in the store — the topology
     the zipf multi-dataset load harness drives.  Requests must carry
     ``dataset``; ``transport`` defaults to the pipelined asyncio server
-    because that is what an open-loop client saturates.
+    because that is what an open-loop client saturates.  ``"http"``
+    serves the same workspace through the JSON gateway (``tenants``:
+    optional tenants-config path; connect with
+    :class:`~repro.gateway.client.HttpBackend`).
     """
-    if transport not in ("socket", "asyncio"):
+    if transport not in ("socket", "asyncio", "http"):
         raise ValueError(f"unknown transport {transport!r}")
     context = multiprocessing.get_context()
     parent_conn, child_conn = context.Pipe()
     process = context.Process(
         target=_store_server_process_main,
         args=(child_conn, str(store), capacity, cache_size, host, port,
-              transport),
+              transport, None if tenants is None else str(tenants)),
         daemon=True,
     )
     process.start()

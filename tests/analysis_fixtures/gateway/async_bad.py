@@ -1,0 +1,19 @@
+"""async-blocking fixtures: blocking calls inside the gateway's
+coroutine-shaped handlers (deliberate violations)."""
+
+import socket
+import time
+
+
+async def handle_connection(reader, writer):
+    time.sleep(0.05)  # BAD: blocks the accept loop
+    return await reader.readline()
+
+
+async def proxy_upstream(host):
+    return socket.create_connection((host, 80))  # BAD: sync connect
+
+
+async def spool_body(path, body):
+    with open(path, "wb") as handle:  # BAD: file I/O in a coroutine
+        handle.write(body)

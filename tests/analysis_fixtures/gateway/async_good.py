@@ -1,0 +1,24 @@
+"""async-blocking fixtures: the gateway's asyncio-native shapes that
+must stay clean (awaited I/O, executor hand-offs for sync work)."""
+
+import asyncio
+import json
+
+
+async def handle_connection(reader, writer):
+    line = await reader.readline()
+    writer.write(line)
+    await writer.drain()
+    return line
+
+
+async def dispatch_blocking(loop, executor, handler, message):
+    # Sync backend work belongs on the executor, not the loop.
+    return await loop.run_in_executor(executor, lambda: handler(message))
+
+
+async def stream_lines(writer, payloads):
+    for payload in payloads:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+    await asyncio.sleep(0)

@@ -1,0 +1,18 @@
+"""resource-lifecycle fixtures: leaked gateway objects (deliberate
+violations).  ``HttpGateway`` / ``HttpBackend`` are watched by name, so
+the checker needs no imports to flag them."""
+
+
+def probe(address):
+    HttpBackend(address).healthz()  # BAD: connection dropped on the floor
+
+
+def serve_and_forget(backend, port):
+    gateway = HttpGateway(backend, port=port)  # BAD: never closed
+    gateway.start()
+    return port
+
+
+def leak_client(address, request):
+    client = HttpBackend(address)  # BAD: bound but never released
+    return request.to_wire()

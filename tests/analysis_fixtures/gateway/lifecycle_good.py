@@ -1,0 +1,24 @@
+"""resource-lifecycle fixtures: every sanctioned way to own a gateway
+object (context manager, try-finally, explicit close, hand-off)."""
+
+
+def probe(address):
+    with HttpBackend(address) as backend:  # context-managed: fine
+        return backend.healthz()
+
+
+def serve_until(backend, port, stop):
+    gateway = HttpGateway(backend, port=port)
+    try:
+        gateway.start()
+        stop.wait()
+    finally:
+        gateway.close()  # try-finally release: fine
+
+
+def build_client(address):
+    return HttpBackend(address)  # returned: the caller owns it
+
+
+def register(address, pool):
+    pool.adopt(HttpBackend(address))  # handed off: the pool owns it

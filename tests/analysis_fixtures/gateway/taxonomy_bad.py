@@ -1,0 +1,25 @@
+"""error-taxonomy fixtures (scoped: path contains `gateway`): untyped
+raises and swallowing broad handlers (deliberate violations)."""
+
+
+def reject_request(reason):
+    raise Exception(f"bad request: {reason}")  # BAD: untyped raise
+
+
+def shed_load(inflight, cap):
+    if inflight >= cap:
+        raise RuntimeError("overloaded")  # BAD: untyped raise
+
+
+def swallow_handler_error(handler, request):
+    try:
+        return handler(request)
+    except Exception:  # BAD: neither re-raises nor re-wraps
+        return None
+
+
+def swallow_bare(parse, raw):
+    try:
+        return parse(raw)
+    except:  # noqa: E722  BAD: bare except, swallowed
+        return b""

@@ -1,0 +1,51 @@
+"""error-taxonomy fixtures: the gateway's sanctioned shapes.
+
+The gateway refines the taxonomy with HTTP-facing errors (``HttpError``,
+``GatewayAuthError``, ``AdmissionRejected``); raising those — and
+converting broad failures into ``kind``-tagged reply dicts the way the
+connection handler does — must stay clean.
+"""
+
+
+class HttpError(Exception):
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+class AdmissionRejected(Exception):
+    pass
+
+
+def reject_request(reason):
+    raise HttpError(400, f"bad request: {reason}")  # typed: fine
+
+
+def shed_load(inflight, cap):
+    if inflight >= cap:
+        raise AdmissionRejected("gateway at its concurrency cap")
+
+
+def rewrap_parse_failure(parse, raw):
+    try:
+        return parse(raw)
+    except Exception as error:
+        # Framing failures become 400s, never tracebacks.
+        raise HttpError(400, str(error)) from error
+
+
+def protocol_reply(handler, request):
+    try:
+        return handler(request)
+    except Exception as error:
+        # The connection handler serializes unknown failures as a
+        # taxonomy-tagged 500 body instead of crashing the connection.
+        return {"ok": False, "kind": "protocol", "error": str(error)}
+
+
+def cleanup_and_reraise(handler, request, connections):
+    try:
+        return handler(request)
+    except Exception:
+        connections.clear()
+        raise  # re-raise keeps the type

@@ -131,6 +131,35 @@ def test_error_taxonomy_is_scoped_to_serve(tmp_path):
     assert findings == []
 
 
+def test_error_taxonomy_covers_gateway_paths():
+    findings = analyse(FIXTURES / "gateway" / "taxonomy_bad.py",
+                       "error-taxonomy")
+    raises = [f for f in findings if "raise of untyped" in f.message]
+    handlers = [f for f in findings if "broad" in f.message]
+    assert len(raises) == 2
+    assert len(handlers) == 2
+
+
+def test_error_taxonomy_accepts_gateway_shapes():
+    # Gateway-typed raises (HttpError, AdmissionRejected) and the
+    # connection handler's kind-tagged reply dicts are sanctioned.
+    assert analyse(FIXTURES / "gateway" / "taxonomy_good.py",
+                   "error-taxonomy") == []
+
+
+def test_async_blocking_flags_gateway_handlers():
+    findings = analyse(FIXTURES / "gateway" / "async_bad.py",
+                       "async-blocking")
+    assert {f.symbol for f in findings} == {
+        "handle_connection", "proxy_upstream", "spool_body",
+    }
+
+
+def test_async_blocking_accepts_gateway_native_shapes():
+    assert analyse(FIXTURES / "gateway" / "async_good.py",
+                   "async-blocking") == []
+
+
 def test_resource_lifecycle_flags_leaks():
     findings = analyse(FIXTURES / "lifecycle_bad.py", "resource-lifecycle")
     assert sorted(f.symbol for f in findings) == [
@@ -140,6 +169,19 @@ def test_resource_lifecycle_flags_leaks():
 
 def test_resource_lifecycle_accepts_every_ownership_shape():
     assert analyse(FIXTURES / "lifecycle_good.py",
+                   "resource-lifecycle") == []
+
+
+def test_resource_lifecycle_watches_gateway_constructors():
+    findings = analyse(FIXTURES / "gateway" / "lifecycle_bad.py",
+                       "resource-lifecycle")
+    assert sorted(f.symbol for f in findings) == [
+        "leak_client", "probe", "serve_and_forget",
+    ]
+
+
+def test_resource_lifecycle_accepts_gateway_ownership_shapes():
+    assert analyse(FIXTURES / "gateway" / "lifecycle_good.py",
                    "resource-lifecycle") == []
 
 

@@ -1,0 +1,287 @@
+"""Property-based fuzz of the gateway's HTTP/1.1 request parser.
+
+The parser's contract (:func:`repro.gateway.http.read_request`): fed
+*any* byte stream, it returns a parsed :class:`HttpRequest`, returns
+``None`` (clean EOF between requests), or raises :class:`HttpError` —
+never any other exception, and never a hang (every strategy here closes
+the stream, so a parser that waited for more input would die on the
+truncation path, and a wall-clock guard backstops it).  On top of the
+raw-bytes sweep, targeted strategies hit the seams: malformed request
+lines, oversized/garbled headers, truncated and corrupted chunked
+bodies, and pipelined keep-alive sequences that must parse back
+request-for-request.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway import HttpError, read_request
+from repro.gateway.http import MAX_HEADER_BYTES, MAX_REQUEST_LINE_BYTES
+
+PARSE_TIMEOUT = 5.0  # generous wall-clock backstop: a hang fails fast
+
+
+def parse_all(data: bytes, limit: int = 32) -> list:
+    """Every request parsed off ``data`` until EOF/error, under timeout.
+
+    Returns the parsed requests; a framing error appends the HttpError
+    and stops (mirroring the connection handler, which answers and hangs
+    up after the first framing error).
+    """
+
+    async def run() -> list:
+        reader = asyncio.StreamReader(limit=MAX_HEADER_BYTES)
+        reader.feed_data(data)
+        reader.feed_eof()
+        results: list = []
+        for _ in range(limit):
+            try:
+                request = await asyncio.wait_for(read_request(reader),
+                                                 PARSE_TIMEOUT)
+            except HttpError as error:
+                results.append(error)
+                return results
+            if request is None:
+                return results
+            results.append(request)
+        return results
+
+    return asyncio.run(run())
+
+
+def outcomes(data: bytes) -> list:
+    """Shorthand: the parse results' type tags."""
+    return [type(item).__name__ for item in parse_all(data)]
+
+
+# ---------------------------------------------------------------------------
+# The blanket property: arbitrary bytes never escape the contract
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=4096))
+def test_arbitrary_bytes_never_traceback_or_hang(data):
+    for item in parse_all(data):
+        assert item.__class__.__name__ in ("HttpRequest", "HttpError")
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=512))
+def test_valid_prefix_then_garbage_still_contained(data):
+    prefix = b"GET /v1/healthz HTTP/1.1\r\n\r\n"
+    results = parse_all(prefix + data)
+    assert results[0].__class__.__name__ == "HttpRequest"
+    assert results[0].path == "/v1/healthz"
+
+
+# ---------------------------------------------------------------------------
+# Malformed request lines
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=64))
+def test_malformed_request_lines_are_400(line):
+    data = (line + "\r\n\r\n").encode("latin-1")
+    results = parse_all(data)
+    if results and isinstance(results[0], HttpError):
+        assert results[0].status in (400, 413)
+
+
+@given(st.sampled_from([
+    b"GET\r\n\r\n",                         # one part
+    b"GET /x\r\n\r\n",                      # two parts
+    b"GET /x HTTP/2.0\r\n\r\n",             # unsupported version
+    b"GET /x HTTP/1.1 extra\r\n\r\n",       # four parts
+    b"G@T /x HTTP/1.1\r\n\r\n",             # non-token method
+    b" /x HTTP/1.1\r\n\r\n",                # empty method
+    b"GET  HTTP/1.1\r\n\r\n",               # empty target
+]))
+@settings(deadline=None)
+def test_known_bad_request_lines_are_400(data):
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 400
+
+
+def test_oversized_request_line_is_refused():
+    data = b"GET /" + b"a" * (2 * MAX_REQUEST_LINE_BYTES) \
+        + b" HTTP/1.1\r\n\r\n"
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Header abuse
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+               min_size=1, max_size=32),
+       st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=64))
+def test_header_lines_parse_or_400(name, value):
+    data = (f"GET / HTTP/1.1\r\n{name}: {value}\r\n\r\n").encode("latin-1")
+    results = parse_all(data)
+    assert len(results) == 1
+    item = results[0]
+    if isinstance(item, HttpError):
+        assert item.status == 400
+    else:
+        assert item.headers.get(name.lower().partition(":")[0]) is not None
+
+
+def test_header_block_over_cap_is_refused():
+    filler = b"".join(b"X-Pad-%d: %s\r\n" % (index, b"v" * 1024)
+                      for index in range(80))
+    assert len(filler) > MAX_HEADER_BYTES
+    data = b"GET / HTTP/1.1\r\n" + filler + b"\r\n"
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 400
+
+
+def test_too_many_headers_is_refused():
+    filler = b"".join(b"X-%d: v\r\n" % index for index in range(150))
+    data = b"GET / HTTP/1.1\r\n" + filler + b"\r\n"
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 400
+
+
+@given(st.sampled_from([
+    b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+    b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+    b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+    b"GET / HTTP/1.1\r\nContent-Length: peanuts\r\n\r\nxx",
+    b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+    b"POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+    b"Transfer-Encoding: chunked\r\n\r\n",
+    b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+]))
+@settings(deadline=None)
+def test_known_bad_headers_are_400(data):
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 400
+
+
+def test_oversized_declared_body_is_413():
+    data = b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 413
+
+
+# ---------------------------------------------------------------------------
+# Chunked bodies
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=200), max_size=8))
+def test_wellformed_chunked_bodies_roundtrip(chunks):
+    encoded = b"".join(
+        b"%x\r\n%s\r\n" % (len(chunk), chunk)
+        for chunk in chunks if chunk
+    ) + b"0\r\n\r\n"
+    data = (b"POST /v1/select HTTP/1.1\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n" + encoded)
+    (request,) = parse_all(data)
+    assert request.__class__.__name__ == "HttpRequest"
+    assert request.body == b"".join(chunk for chunk in chunks if chunk)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 400))
+def test_truncated_chunked_bodies_are_400(chunk, cut):
+    encoded = (b"%x\r\n%s\r\n" % (len(chunk), chunk)) + b"0\r\n\r\n"
+    data = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            + encoded)
+    truncated = data[:len(data) - min(cut, len(encoded))]
+    results = parse_all(truncated)
+    if truncated == data:
+        assert results[0].__class__.__name__ == "HttpRequest"
+    else:
+        assert isinstance(results[0], HttpError)
+        assert results[0].status in (400, 413)
+
+
+@given(st.sampled_from([
+    b"zz\r\nabcd\r\n0\r\n\r\n",        # non-hex size
+    b"-4\r\nabcd\r\n0\r\n\r\n",        # negative size
+    b"4\r\nabcdXX0\r\n\r\n",           # missing CRLF after chunk data
+    b"4\r\nab",                        # mid-chunk EOF
+    b"4\r\nabcd\r\n0\r\n",             # trailer block never ends
+]))
+@settings(deadline=None)
+def test_corrupt_chunked_framing_is_400(tail):
+    data = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" + tail
+    (error,) = parse_all(data)
+    assert isinstance(error, HttpError)
+    assert error.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Pipelined keep-alive
+# ---------------------------------------------------------------------------
+
+@st.composite
+def wellformed_request(draw):
+    method = draw(st.sampled_from(["GET", "POST", "PUT"]))
+    # Segments joined with single slashes: a target starting "//" would
+    # read as an authority component, which origin-form never carries.
+    segments = draw(st.lists(st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+        min_size=1, max_size=8,
+    ), max_size=3))
+    path = "/" + "/".join(segments)
+    body = draw(st.binary(max_size=256))
+    chunked = draw(st.booleans()) and body
+    head = f"{method} {path} HTTP/1.1\r\nX-Seq: {draw(st.integers(0, 9))}\r\n"
+    if chunked:
+        encoded = b"%x\r\n%s\r\n0\r\n\r\n" % (len(body), body)
+        raw = (head + "Transfer-Encoding: chunked\r\n\r\n") \
+            .encode("latin-1") + encoded
+    else:
+        raw = (head + f"Content-Length: {len(body)}\r\n\r\n") \
+            .encode("latin-1") + body
+    return raw, method, path, body
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(wellformed_request(), min_size=1, max_size=6))
+def test_pipelined_requests_parse_back_one_for_one(specs):
+    data = b"".join(raw for raw, _method, _path, _body in specs)
+    results = parse_all(data)
+    assert len(results) == len(specs)
+    for request, (_raw, method, path, body) in zip(results, specs):
+        assert request.__class__.__name__ == "HttpRequest"
+        assert request.method == method
+        assert request.path == path
+        assert request.body == body
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(wellformed_request(), min_size=1, max_size=3),
+       st.integers(min_value=1, max_value=40))
+def test_pipelined_then_truncated_tail_never_hangs(specs, cut):
+    data = b"".join(raw for raw, _method, _path, _body in specs)
+    truncated = data[:-min(cut, len(data))]
+    for item in parse_all(truncated):
+        assert item.__class__.__name__ in ("HttpRequest", "HttpError")
+
+
+def test_blank_lines_between_requests_are_tolerated():
+    data = (b"GET /a HTTP/1.1\r\n\r\n"
+            b"\r\n\r\n"
+            b"GET /b HTTP/1.1\r\n\r\n")
+    results = parse_all(data)
+    assert [request.path for request in results] == ["/a", "/b"]
+
+
+def test_endless_blank_lines_are_refused():
+    results = parse_all(b"\r\n" * 64 + b"GET / HTTP/1.1\r\n\r\n")
+    assert isinstance(results[0], HttpError)
