@@ -70,3 +70,77 @@ def test_selection_speed(benchmark, fitted):
     """One centroid selection — the paper's per-display interactive cost."""
     result = benchmark(fitted.select, 10, 10)
     assert result.shape[0] == 10
+
+
+# ---------------------------------------------------------------------------
+# Kernel micro-timings (repro.core.kernels fast path)
+# ---------------------------------------------------------------------------
+
+def test_kernel_label_matrix_sums_speed(benchmark):
+    import numpy as np
+
+    from repro.core.kernels import label_matrix_sums
+
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(ROWS, 16))
+    labels = rng.integers(0, 12, size=ROWS)
+    sums = benchmark(label_matrix_sums, matrix, labels, 12)
+    assert sums.shape == (12, 16)
+
+
+def test_kernel_collapse_rows_speed(benchmark):
+    import numpy as np
+
+    from repro.core.kernels import collapse_rows
+
+    rng = np.random.default_rng(0)
+    pool = rng.normal(size=(64, 8))
+    matrix = pool[rng.integers(0, 64, size=ROWS)]
+    collapse = benchmark(collapse_rows, matrix)
+    assert collapse.n_unique == 64
+
+
+def test_kernel_seeding_speed(benchmark):
+    import numpy as np
+
+    from repro.cluster.kmeans import _kmeans_plus_plus
+    from repro.utils.rng import ensure_rng
+
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(ROWS, 8))
+
+    def seed_once():
+        return _kmeans_plus_plus(points, 10, 4, ensure_rng(0))
+
+    centers = benchmark(seed_once)
+    assert centers.shape == (4, 10, 8)
+
+
+def test_kernel_popcount_union_speed(benchmark):
+    import numpy as np
+
+    from repro.core.kernels import popcount, union_mask
+
+    rng = np.random.default_rng(0)
+    packed = np.packbits(
+        rng.integers(0, 2, size=(200, ROWS), dtype=np.uint8), axis=1
+    )
+
+    def union_and_count():
+        return popcount(union_mask(packed))
+
+    count = benchmark(union_and_count)
+    assert 0 < count <= ROWS
+
+
+def test_kernel_gains_for_rows_speed(benchmark, bundle):
+    import numpy as np
+
+    from repro.metrics.coverage import IncrementalCoverage
+
+    rules = bundle.scorer().rules
+    evaluator = CoverageEvaluator(bundle.binned, rules)
+    coverage = IncrementalCoverage(evaluator, bundle.binned.columns[:8])
+    rows = np.arange(bundle.binned.n_rows)
+    gains = benchmark(coverage.gains_for_rows, rows)
+    assert gains.shape == (bundle.binned.n_rows,)

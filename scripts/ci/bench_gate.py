@@ -57,6 +57,8 @@ def _headline_qps(record: dict) -> dict:
             "gateway": record["gateway"]["achieved_qps"],
             "raw_socket": record["raw_socket"]["achieved_qps"],
         }
+    if experiment == "kernel_qps":
+        return {"kernel_cold": record["cold"]["qps"]}
     raise ValueError(f"no QPS extraction for experiment {experiment!r}")
 
 

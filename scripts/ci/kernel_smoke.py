@@ -1,0 +1,131 @@
+"""Kernel smoke: fast-vs-reference bit-identity + committed selection goldens.
+
+Two checks, both over the shared smoke artifact:
+
+1. **Live backend diff** — every generated session request is served
+   twice through the full selection pipeline (``use_cache=False``), once
+   under ``REPRO_KERNEL=fast`` and once under ``REPRO_KERNEL=reference``,
+   and the wire forms (minus timing/cache metadata) must match bit for
+   bit.  This is the version-independent check: whatever numpy/BLAS this
+   runner ships, the vectorized kernels must reproduce the naive loops
+   exactly.
+
+2. **Committed goldens** — the *discrete* selection content (row
+   indices, columns, targets; never float cells) of the subtab artifact
+   and of a registry-built ``greedy-approx`` engine is diffed against
+   ``scripts/ci/goldens/kernel_smoke.json``.  This pins the selections
+   across commits: a kernel "optimization" that silently changes what
+   gets selected fails here even if fast and reference were changed in
+   lockstep.  Regenerate deliberately with ``REPRO_UPDATE_GOLDENS=1``.
+
+Runs in CI and locally: ``python scripts/ci/kernel_smoke.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from smoke_common import content, ensure_artifact, session_requests
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "goldens" / "kernel_smoke.json"
+
+
+def _discrete(response) -> dict:
+    """The numpy-version-robust slice of a response: which rows and
+    columns were selected, never the float cell values."""
+    payload = content(response)
+    subtable = payload["subtable"]
+    return {
+        "algorithm": payload["algorithm"],
+        "k": payload["k"],
+        "l": payload["l"],
+        "row_indices": subtable["row_indices"],
+        "columns": subtable["columns"],
+        "targets": subtable["targets"],
+    }
+
+
+def _serve_both_backends(engine, requests, label):
+    """Serve cold under each kernel backend; assert bit-identity; return
+    the fast-path responses."""
+    from repro.core.kernels import use_kernel_backend
+
+    with use_kernel_backend("fast"):
+        fast = [engine.select(request) for request in requests]
+    with use_kernel_backend("reference"):
+        reference = [engine.select(request) for request in requests]
+    for request, f, r in zip(requests, fast, reference):
+        assert content(f) == content(r), (
+            f"{label}: fast and reference kernels diverged for {request}"
+        )
+    return fast
+
+
+def main() -> int:
+    artifact = ensure_artifact()
+
+    from dataclasses import replace
+
+    from repro.api import Engine
+    from repro.api.registry import selector_names
+    from repro.bench import load_bundle
+    from repro.core.config import SubTabConfig
+
+    assert "greedy-approx" in selector_names(), (
+        f"greedy-approx missing from the registry: {selector_names()}"
+    )
+
+    engine = Engine.load(artifact)
+    # Cold selects: the LRU would otherwise serve the second backend's
+    # pass from the first backend's results and the diff would be vacuous.
+    requests = [replace(request, use_cache=False)
+                for request in session_requests(engine)]
+    subtab_fast = _serve_both_backends(engine, requests, "kernel smoke")
+
+    # The sampling-based Greedy, built through the registry like any
+    # other selector, replayed under both backends on the same dataset
+    # slice the artifact was fitted from.
+    bundle = load_bundle("cyber", n_rows=300, seed=1)
+    approx = Engine("greedy-approx",
+                    config=SubTabConfig(k=4, l=4, seed=1),
+                    selector_options={"sample_rate": 0.2, "min_sample": 8,
+                                      "max_combinations": 10})
+    approx.fit(bundle.frame, binned=bundle.binned)
+    approx_requests = [replace(request, use_cache=False)
+                       for request in session_requests(approx)]
+    approx_fast = _serve_both_backends(
+        approx, approx_requests, "kernel smoke [greedy-approx]"
+    )
+
+    golden = {
+        "subtab": [_discrete(response) for response in subtab_fast],
+        "greedy_approx": [_discrete(response) for response in approx_fast],
+    }
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True)
+                               + "\n")
+        print(f"kernel smoke: regenerated {GOLDEN_PATH}")
+        return 0
+    committed = json.loads(GOLDEN_PATH.read_text())
+    for family in ("subtab", "greedy_approx"):
+        fresh, pinned = golden[family], committed[family]
+        assert len(fresh) == len(pinned), (
+            f"kernel smoke [{family}]: {len(fresh)} selections vs "
+            f"{len(pinned)} committed — regenerate deliberately with "
+            f"REPRO_UPDATE_GOLDENS=1"
+        )
+        for i, (f, p) in enumerate(zip(fresh, pinned)):
+            assert f == p, (
+                f"kernel smoke [{family}] selection {i} drifted from the "
+                f"committed golden:\nfresh:     {f}\ncommitted: {p}"
+            )
+
+    print(f"kernel smoke: {len(requests)} subtab + {len(approx_requests)} "
+          f"greedy-approx selections bit-identical across kernel backends "
+          f"and matching the committed goldens")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

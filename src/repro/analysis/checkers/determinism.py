@@ -22,18 +22,24 @@ Flagged in modules whose path contains ``repro``:
   even seeded, global state is shared across the process and not
   replayable per-request.
 
-**Strict mode** for ``src/repro/loadgen/``: there, even
+**Strict mode** for ``src/repro/loadgen/`` and the greedy baselines
+(``src/repro/baselines/greedy*``): there, even
 ``repro.utils.rng.ensure_rng()`` with no argument (or a literal
 ``None``) is flagged.  ``ensure_rng(None)`` deliberately falls back to
 fresh entropy — acceptable for exploratory callers, but a load
 schedule must be a pure function of its seed (the committed
-``BENCH_loadgen.json`` embeds the schedule fingerprint as proof), so
-the entropy loophole is closed for that package.
+``BENCH_loadgen.json`` embeds the schedule fingerprint as proof), and
+the greedy family feeds the committed quality-vs-latency tradeoff
+records (``BENCH_kernel_qps.json``) whose curves must replay from the
+recorded seeds — the sampling-based variant re-seeds per select
+precisely so every serving topology returns the same sub-table.  The
+entropy loophole is closed for both scopes.
 """
 
 from __future__ import annotations
 
 import ast
+from fnmatch import fnmatch
 
 from repro.analysis.framework import (
     Checker,
@@ -73,11 +79,20 @@ class DeterminismChecker(Checker):
 
     #: Path parts that put a module in strict mode (see module docstring).
     strict_parts = ("loadgen",)
+    #: ``fnmatch`` patterns against the display path that also force
+    #: strict mode — finer-grained than whole-directory parts (the greedy
+    #: modules share ``baselines/`` with selectors that keep the entropy
+    #: fallback).
+    #: (both spellings: paths are root-relative, so ``repro/`` may sit at
+    #: the front or below ``src/``/a fixture root.)
+    strict_globs = ("repro/baselines/greedy*", "*/repro/baselines/greedy*")
 
     def check_module(self, ctx: ModuleContext) -> list:
         imports = import_table(ctx.tree)
         strict = any(
             part in ctx.display_path.split("/") for part in self.strict_parts
+        ) or any(
+            fnmatch(ctx.display_path, pattern) for pattern in self.strict_globs
         )
         findings = []
         for node in ast.walk(ctx.tree):
@@ -105,9 +120,9 @@ class DeterminismChecker(Checker):
             if unseeded or literal_none:
                 if qual in _STRICT_CONSTRUCTORS:
                     return (
-                        f"{qual}(None) falls back to fresh entropy; load "
-                        f"schedules must be pure functions of an explicit "
-                        f"seed (strict determinism scope)"
+                        f"{qual}(None) falls back to fresh entropy; this "
+                        f"strict determinism scope (load schedules, greedy "
+                        f"tradeoff baselines) requires an explicit seed"
                     )
                 return (
                     f"{qual}() without a seed is entropy-seeded and never "

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 from repro.baselines.base import BaseSelector
 from repro.baselines.embdi_baseline import EmbDISelector
 from repro.baselines.greedy import GreedySelector, SemiGreedySelector
+from repro.baselines.greedy_approx import ApproxGreedySelector
 from repro.baselines.mab import MABSelector
 from repro.baselines.naive_cluster import NaiveClusteringSelector
 from repro.baselines.random_search import RandomSelector
@@ -141,6 +142,11 @@ def _make_semigreedy(config: SubTabConfig, **options) -> SemiGreedySelector:
     return SemiGreedySelector(**options)
 
 
+def _make_greedy_approx(config: SubTabConfig, **options) -> ApproxGreedySelector:
+    options.setdefault("seed", config.seed)
+    return ApproxGreedySelector(**options)
+
+
 def _make_mab(config: SubTabConfig, **options) -> MABSelector:
     options.setdefault("seed", config.seed)
     return MABSelector(**options)
@@ -171,6 +177,11 @@ register_selector(
 register_selector(
     "semigreedy", _make_semigreedy,
     description="SemiGreedy: any-time greedy with random column order",
+)
+register_selector(
+    "greedy-approx", _make_greedy_approx, interactive=True,
+    aliases=("greedy_approx", "stochastic-greedy"),
+    description="Greedy (Sec. 4): sampled row stage, (1-1/e-eps) expected",
 )
 register_selector(
     "mab", _make_mab,

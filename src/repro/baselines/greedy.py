@@ -49,10 +49,13 @@ def greedy_row_selection(
     if candidate_rows is None:
         candidate_rows = np.arange(evaluator.binned.n_rows)
     # Heap of (-stale_gain, row); gains can only decrease (submodularity).
-    heap: list[tuple[float, int]] = []
-    for row in candidate_rows:
-        gain = coverage.gain(int(row))
-        heap.append((-float(gain), int(row)))
+    # The initial sweep is one batched evaluation — rows sharing a pattern
+    # signature share one gain computation.
+    initial_gains = coverage.gains_for_rows(np.asarray(candidate_rows))
+    heap: list[tuple[float, int]] = [
+        (-float(gain), int(row))
+        for gain, row in zip(initial_gains, candidate_rows)
+    ]
     heapq.heapify(heap)
 
     selected: list[int] = []
@@ -145,6 +148,19 @@ class GreedySelector(BaseSelector):
             self._rules = miner.mine(self._binned)
         self._evaluator = CoverageEvaluator(self._binned, self._rules)
 
+    def _row_selection(
+        self,
+        evaluator: CoverageEvaluator,
+        columns: Sequence[str],
+        k: int,
+        candidate_rows: np.ndarray,
+    ) -> tuple[list[int], float]:
+        """Row stage for one column subset; subclasses swap the strategy
+        (the sampling-based approximation overrides this hook)."""
+        return greedy_row_selection(
+            evaluator, columns, k, candidate_rows=candidate_rows
+        )
+
     def _select_from_view(
         self,
         view: BinnedTable,
@@ -164,8 +180,8 @@ class GreedySelector(BaseSelector):
         for subset in iterate_column_subsets(
             columns, l, targets, order=self.order, rng=self._rng
         ):
-            selected_rows, cov = greedy_row_selection(
-                evaluator, subset, min(k, len(rows)), candidate_rows=rows
+            selected_rows, cov = self._row_selection(
+                evaluator, subset, min(k, len(rows)), rows
             )
             if cov > best_cov:
                 best_cov = cov

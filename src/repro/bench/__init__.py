@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     AsyncQPSResult,
     ClusterQPSResult,
     HttpQPSResult,
+    KernelQPSResult,
     LoadgenResult,
     ParameterTuningResult,
     PoolQPSResult,
@@ -37,6 +38,7 @@ from repro.bench.experiments import (
     run_async_qps_experiment,
     run_cluster_qps_experiment,
     run_http_qps_experiment,
+    run_kernel_qps_experiment,
     run_loadgen_experiment,
     run_parameter_tuning_experiment,
     run_pool_qps_experiment,
@@ -55,6 +57,7 @@ __all__ = [
     "ClusterQPSResult",
     "HttpQPSResult",
     "DatasetBundle",
+    "KernelQPSResult",
     "LoadgenResult",
     "ParameterTuningResult",
     "PoolQPSResult",
@@ -74,6 +77,7 @@ __all__ = [
     "run_async_qps_experiment",
     "run_cluster_qps_experiment",
     "run_http_qps_experiment",
+    "run_kernel_qps_experiment",
     "run_loadgen_experiment",
     "run_parameter_tuning_experiment",
     "run_pool_qps_experiment",

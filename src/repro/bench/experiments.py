@@ -1903,3 +1903,300 @@ def run_http_qps_experiment(
         return result
     finally:
         shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Kernel QPS — vectorized selection hot path + greedy-approx tradeoff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KernelQPSResult:
+    """Cold-select throughput of the vectorized kernels plus the
+    quality-vs-latency tradeoff of the sampling-based Greedy.
+
+    ``cold`` measures uncached single-engine selects (``use_cache=False``)
+    over the same session-state workload shape as the pool bench's
+    committed baseline — the number every other serving-layer multiplier
+    (LRU, pooling, clustering) stacks on top of.  ``profile`` holds
+    per-stage cumulative seconds of the same selects under the fast and
+    reference kernel backends ("after" vs "before" of the vectorization).
+    ``tradeoff`` holds, per registry dataset, cell coverage and select
+    latency of exact Greedy, SubTab, and greedy-approx across sample
+    rates — the curve behind the (1 - 1/e - eps) quality-for-latency
+    dial.
+    """
+
+    dataset: str
+    k: int
+    l: int
+    n_states: int
+    passes: int
+    fit_seconds: float
+    committed_baseline_qps: float
+    cold: dict = field(default_factory=dict)
+    profile: dict = field(default_factory=dict)
+    tradeoff: list = field(default_factory=list)
+
+    @property
+    def speedup_vs_committed(self) -> float:
+        if not self.committed_baseline_qps:
+            return 0.0
+        return self.cold.get("qps", 0.0) / self.committed_baseline_qps
+
+    def best_tradeoff_point(self) -> "dict | None":
+        """The sampled point with the largest speedup among those within
+        5% coverage loss of exact greedy, across all datasets."""
+        best = None
+        for record in self.tradeoff:
+            for point in record["approx"]:
+                if point["coverage_loss"] > 0.05:
+                    continue
+                if best is None or point["speedup"] > best["speedup"]:
+                    best = dict(point, dataset=record["dataset"])
+        return best
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "kernel_qps",
+            "dataset": self.dataset,
+            "k": self.k,
+            "l": self.l,
+            "n_states": self.n_states,
+            "passes": self.passes,
+            "fit_seconds": self.fit_seconds,
+            "committed_baseline_qps": self.committed_baseline_qps,
+            "speedup_vs_committed": self.speedup_vs_committed,
+            "cold": dict(self.cold),
+            "profile": dict(self.profile),
+            "tradeoff": list(self.tradeoff),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"cold single-engine selects ({self.dataset}, k={self.k}, "
+            f"l={self.l}, {self.n_states} states, best of {self.passes} "
+            f"passes): {self.cold.get('qps', 0.0):.1f} QPS "
+            f"({self.speedup_vs_committed:.2f}x the committed "
+            f"{self.committed_baseline_qps:.1f} QPS baseline)",
+        ]
+        fast = self.profile.get("fast", {})
+        reference = self.profile.get("reference", {})
+        if fast and reference:
+            rows = [
+                [stage, reference.get(stage, 0.0), fast.get(stage, 0.0)]
+                for stage in fast
+            ]
+            lines.append(format_table(
+                f"per-stage seconds, {self.profile.get('profile_states', 0)}"
+                f" profiled selects (reference -> fast backend)",
+                ["stage", "reference s", "fast s"],
+                rows,
+            ))
+        for record in self.tradeoff:
+            rows = [["greedy (exact)", 1.0,
+                     record["exact"]["seconds"], record["exact"]["coverage"]]]
+            for point in record["approx"]:
+                rows.append([
+                    f"greedy-approx @{point['sample_rate']}",
+                    point["speedup"], point["seconds"], point["coverage"],
+                ])
+            rows.append(["subtab",
+                         record["exact"]["seconds"]
+                         / max(record["subtab"]["seconds"], 1e-9),
+                         record["subtab"]["seconds"],
+                         record["subtab"]["coverage"]])
+            lines.append(format_table(
+                f"{record['dataset']}: coverage vs select latency "
+                f"(k={self.k}, l={record['l']}, "
+                f"{record['max_combinations']} column subsets)",
+                ["selector", "speedup", "select s", "cell coverage"],
+                rows,
+            ))
+        return "\n".join(lines)
+
+
+_PROFILE_STAGES = {
+    "select_total": ("api/engine.py", "select"),
+    "kmeans_fit": ("cluster/kmeans.py", "fit"),
+    "seeding": ("cluster/kmeans.py", "_kmeans_plus_plus"),
+    "lloyd": ("cluster/kmeans.py", "_lloyd_lockstep"),
+    "centroid_sums": ("core/kernels.py", "label_matrix_sums"),
+    "row_collapse": ("core/kernels.py", "collapse_rows"),
+    "column_stage": ("core/selection.py", "_dispersion_column_pick"),
+}
+
+
+def _stage_seconds(engine, requests) -> dict:
+    """Cumulative per-stage seconds of serving ``requests`` once."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for request in requests:
+        engine.select(request)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    out = {}
+    for label, (path_suffix, function) in _PROFILE_STAGES.items():
+        seconds = 0.0
+        for (filename, _, name), row in stats.stats.items():
+            if name == function and filename.replace("\\", "/").endswith(
+                path_suffix
+            ):
+                seconds += row[3]  # cumulative time
+        out[label] = round(seconds, 6)
+    return out
+
+
+def _tradeoff_for_dataset(
+    dataset_name: str, *, n_rows, k, l, seed, max_combinations,
+    sample_rates, repeats,
+) -> dict:
+    """Coverage/latency of exact greedy vs greedy-approx vs SubTab on one
+    dataset, all scored by one shared evaluator over one shared rule set."""
+    from repro.api.registry import make_selector as make_registry_selector
+
+    bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+    rules = RuleMiner().mine(bundle.binned)
+    evaluator = CoverageEvaluator(bundle.binned, rules)
+    config = SubTabConfig(k=k, l=l, seed=seed)
+
+    def timed_select(selector) -> tuple:
+        best = float("inf")
+        subtable = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            subtable = selector.select(k, l)
+            best = min(best, time.perf_counter() - start)
+        coverage = evaluator.coverage(subtable.row_indices, subtable.columns)
+        return best, coverage
+
+    exact = make_registry_selector(
+        "greedy", config, rules=rules, max_combinations=max_combinations
+    )
+    exact.prepare(bundle.frame, binned=bundle.binned)
+    exact_seconds, exact_coverage = timed_select(exact)
+
+    approx_points = []
+    for rate in sample_rates:
+        approx = make_registry_selector(
+            "greedy-approx", config, rules=rules,
+            max_combinations=max_combinations, sample_rate=rate,
+        )
+        approx.prepare(bundle.frame, binned=bundle.binned)
+        seconds, coverage = timed_select(approx)
+        loss = (
+            (exact_coverage - coverage) / exact_coverage
+            if exact_coverage > 0 else 0.0
+        )
+        approx_points.append({
+            "sample_rate": rate,
+            "seconds": seconds,
+            "coverage": coverage,
+            "speedup": exact_seconds / seconds if seconds else 0.0,
+            "coverage_loss": loss,
+        })
+
+    subtab = make_registry_selector("subtab", config)
+    subtab.prepare(bundle.frame, binned=bundle.binned)
+    subtab_seconds, subtab_coverage = timed_select(subtab)
+
+    return {
+        "dataset": dataset_name,
+        "n_rows": bundle.binned.n_rows,
+        "l": l,
+        "max_combinations": max_combinations,
+        "n_rules": len(rules),
+        "upcov": evaluator.upcov,
+        "exact": {"seconds": exact_seconds, "coverage": exact_coverage},
+        "subtab": {"seconds": subtab_seconds, "coverage": subtab_coverage},
+        "approx": approx_points,
+    }
+
+
+def run_kernel_qps_experiment(
+    dataset_name: str = "cyber",
+    n_sessions: int = 12,
+    k: int = 10,
+    l: int = 7,
+    seed: int = 0,
+    n_rows: Optional[int] = 1500,
+    max_states: int = 48,
+    passes: int = 5,
+    profile_states: int = 4,
+    committed_baseline_qps: float = 0.0,
+    tradeoff_datasets: Optional[Sequence[str]] = None,
+    tradeoff_rows: int = 1200,
+    tradeoff_l: int = 5,
+    tradeoff_max_combinations: int = 20,
+    sample_rates: Sequence[float] = (0.02, 0.05, 0.1, 0.25, 0.5),
+    tradeoff_repeats: int = 2,
+) -> KernelQPSResult:
+    """Measure cold single-engine QPS and the greedy-approx tradeoff.
+
+    The cold workload reuses the pool bench's session-state generation
+    (same dataset, k, l, seed, state cap) so the recorded QPS is directly
+    comparable to the committed ``BENCH_pool_qps.json`` baseline figure,
+    which callers pass in as ``committed_baseline_qps``.  Selects run
+    with ``use_cache=False``: every request pays the full selection
+    pipeline, the quantity the kernel vectorization targets.
+    """
+    from repro.api import Engine, SelectionRequest
+    from repro.core.kernels import use_kernel_backend
+    from repro.datasets.registry import dataset_names
+
+    bundle = load_bundle(dataset_name, n_rows=n_rows, seed=seed)
+    config = SubTabConfig(k=k, l=l, seed=seed)
+    engine = Engine("subtab", config=config)
+    fit_start = time.perf_counter()
+    engine.fit(bundle.frame, binned=bundle.binned)
+    fit_seconds = time.perf_counter() - fit_start
+
+    states = _servable_session_states(
+        engine, bundle, n_sessions=n_sessions, dataset_name=dataset_name,
+        k=k, l=l, seed=seed, max_states=max_states,
+    )
+    requests = [
+        SelectionRequest(k=k, l=l, query=state, use_cache=False)
+        for state in states
+    ]
+    result = KernelQPSResult(
+        dataset=bundle.name, k=k, l=l, n_states=len(states), passes=passes,
+        fit_seconds=fit_seconds,
+        committed_baseline_qps=committed_baseline_qps,
+    )
+
+    for request in requests[:4]:  # warm allocators/BLAS outside the clock
+        engine.select(request)
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        for request in requests:
+            engine.select(request)
+        best = min(best, time.perf_counter() - start)
+    result.cold = {
+        "served": len(requests),
+        "seconds": best,
+        "qps": len(requests) / best if best else 0.0,
+    }
+
+    sample = requests[:profile_states]
+    profile = {"profile_states": len(sample)}
+    with use_kernel_backend("fast"):
+        profile["fast"] = _stage_seconds(engine, sample)
+    with use_kernel_backend("reference"):
+        profile["reference"] = _stage_seconds(engine, sample)
+    result.profile = profile
+
+    names = (
+        list(tradeoff_datasets) if tradeoff_datasets is not None
+        else dataset_names()
+    )
+    for name in names:
+        result.tradeoff.append(_tradeoff_for_dataset(
+            name, n_rows=tradeoff_rows, k=k, l=tradeoff_l, seed=seed,
+            max_combinations=tradeoff_max_combinations,
+            sample_rates=sample_rates, repeats=tradeoff_repeats,
+        ))
+    return result

@@ -141,6 +141,15 @@ class BinnedTable:
     def binning_of(self, name: str) -> ColumnBinning:
         return self.binnings[name]
 
+    def column_token_range(self, j: int) -> tuple[int, int]:
+        """Half-open global token-id range ``[lo, hi)`` owned by column ``j``.
+
+        Global ids are assigned column-contiguously, so one histogram over
+        a whole token-id matrix can be sliced per column by these ranges
+        (the grouped-bincount dispersion kernel relies on this).
+        """
+        return int(self._offsets[j]), int(self._offsets[j + 1])
+
     def token_of_cell(self, row: int, column: "str | int") -> str:
         j = column if isinstance(column, int) else self.column_index(column)
         return self.vocab[self.token_ids[row, j]]
@@ -229,14 +238,38 @@ class BinnedView(BinnedTable):
         # Deliberately no super().__init__(): that would rebuild the
         # vocabulary over the kept columns and re-number token ids — the
         # exact bug views exist to prevent.
-        self.frame = root.frame.take(self._row_indices).project(column_names)
         self.binnings = {name: root.binnings[name] for name in column_names}
         self.codes = root.codes[gather]
         self.token_ids = root.token_ids[gather]
-        self.columns = self.frame.columns
+        self.columns = list(column_names)
         self._column_index = {name: j for j, name in enumerate(self.columns)}
         self.vocab = root.vocab
         self.token_to_id = root.token_to_id
+        # The value frame is built lazily: selection runs entirely on the
+        # gathered code/token-id matrices, and materializing the frame
+        # (a per-cell coercion pass) dominated view construction.
+        self._frame: "DataFrame | None" = None
+
+    @property
+    def frame(self) -> DataFrame:
+        """The selection-projection of the root frame (lazy, cached)."""
+        if self._frame is None:
+            self._frame = self.parent.frame.take(self._row_indices).project(
+                self.columns
+            )
+        return self._frame
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._row_indices)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self._col_indices)
+
+    def column_token_range(self, j: int) -> tuple[int, int]:
+        """Delegate to the root: token ids are global, offsets live there."""
+        return self.parent.column_token_range(int(self._col_indices[j]))
 
     @property
     def vocab_fingerprint(self) -> str:

@@ -5,13 +5,20 @@ point nearest each cluster center — "select the centroids as rows/columns
 that represent diverse patterns in the data".  Always returns exactly
 ``min(k, n)`` distinct indices: duplicate or empty picks are repaired with a
 farthest-point sweep so downstream sub-tables have the requested dimensions.
+
+Duplicate points are collapsed before clustering: narrow query views gather
+identical token-id rows into identical tuple-vectors, so a 1200-row view
+often holds <200 distinct points.  KMeans then runs on the uniques with
+multiplicity weights — the same objective, at the deduplicated size — and
+labels are broadcast back to the full point set for representative picking.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.kmeans import KMeans, _squared_distances
+from repro.cluster.kmeans import KMeans, KMeansResult, _squared_distances
+from repro.core.kernels import collapse_rows, group_members
 from repro.utils.rng import ensure_rng
 
 NEAREST = "nearest"
@@ -20,6 +27,31 @@ RANDOM_MEMBER = "random"
 SALIENT = "salient"
 
 _MODES = (NEAREST, MEDOID, RANDOM_MEMBER, SALIENT)
+
+
+def collapsed_kmeans_fit(
+    points: np.ndarray,
+    k: int,
+    n_init: int,
+    rng,
+) -> tuple[KMeansResult, np.ndarray]:
+    """Fit KMeans over the distinct points, weighted by multiplicity.
+
+    Returns ``(result, labels)`` where ``labels`` covers the *full* point
+    set (the result's own labels cover only the uniques).  When all points
+    are distinct this is a plain fit — the collapse is the identity and no
+    gather happens.
+    """
+    dup = collapse_rows(points)
+    if dup.is_identity(len(points)):
+        result = KMeans(n_clusters=k, n_init=n_init, seed=rng).fit(points)
+        return result, result.labels
+    uniques = points[dup.index]
+    k = min(k, dup.n_unique)
+    result = KMeans(n_clusters=k, n_init=n_init, seed=rng).fit(
+        uniques, weights=dup.counts.astype(np.float64)
+    )
+    return result, result.labels[dup.inverse]
 
 
 def _pick_representative(
@@ -49,17 +81,28 @@ def _fill_missing(points: np.ndarray, chosen: list[int], k: int,
                   rng: np.random.Generator) -> list[int]:
     """Farthest-point completion when clustering yielded < k distinct picks."""
     chosen = list(dict.fromkeys(chosen))
-    remaining = [i for i in range(len(points)) if i not in set(chosen)]
-    while len(chosen) < k and remaining:
-        if chosen:
-            distances = _squared_distances(
-                points[remaining], points[chosen]
-            ).min(axis=1)
-            pick = remaining[int(distances.argmax())]
-        else:
-            pick = remaining[rng.integers(0, len(remaining))]
+    n = len(points)
+    available = np.ones(n, dtype=bool)
+    available[chosen] = False
+    if len(chosen) < k and not chosen and available.any():
+        candidates = np.flatnonzero(available)
+        first = int(candidates[rng.integers(0, len(candidates))])
+        chosen.append(first)
+        available[first] = False
+    if len(chosen) >= k or not available.any():
+        return chosen
+    # Running min-distance to the chosen set: each pick costs one O(n * d)
+    # distance pass instead of re-scanning all chosen-candidate pairs.
+    min_dist = _squared_distances(points, points[chosen]).min(axis=1)
+    while len(chosen) < k and available.any():
+        gaps = np.where(available, min_dist, -np.inf)
+        pick = int(gaps.argmax())
         chosen.append(pick)
-        remaining.remove(pick)
+        available[pick] = False
+        min_dist = np.minimum(
+            min_dist,
+            _squared_distances(points, points[pick:pick + 1]).ravel(),
+        )
     return chosen
 
 
@@ -85,10 +128,9 @@ def select_representatives(
     k = min(k, n)
     if k == n:
         return list(range(n))
-    result = KMeans(n_clusters=k, n_init=n_init, seed=rng).fit(points)
+    result, labels = collapsed_kmeans_fit(points, k, n_init, rng)
     chosen: list[int] = []
-    for cluster in range(result.k):
-        member_indices = np.flatnonzero(result.labels == cluster)
+    for cluster, member_indices in enumerate(group_members(labels, result.k)):
         if len(member_indices) == 0:
             continue
         chosen.append(

@@ -28,8 +28,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.binning.pipeline import BinnedTable
-from repro.cluster.centroids import NEAREST, select_representatives
+from repro.cluster.centroids import (
+    NEAREST,
+    collapsed_kmeans_fit,
+    select_representatives,
+)
 from repro.cluster.kmeans import KMeans
+from repro.core.kernels import (
+    allocate_quotas,
+    group_members,
+    label_sums,
+    token_counts,
+)
 from repro.embedding.model import CellEmbeddingModel
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import validate_selection_args
@@ -47,30 +57,32 @@ def column_dispersions(view: BinnedTable, model: CellEmbeddingModel) -> np.ndarr
     Computed from bin shares and token vectors, so it costs O(vocab) rather
     than O(rows).  Constant columns score 0; columns whose cells embed into
     several well-separated directions (the pattern carriers) score high.
+
+    One grouped bincount over the whole token-id matrix replaces the old
+    per-column ``np.unique`` scans: global token ids partition by column,
+    so a single histogram yields every column's bin shares at once.  Per
+    column the dispersion is the variance identity
+    ``sum_t w_t ||v_t||^2 - ||mean||^2`` (clamped at 0 against cancellation),
+    evaluated over the column's token range.
     """
+    counts = token_counts(view.token_ids, len(model.vectors))
+    n_rows = view.n_rows
     dispersions = np.zeros(view.n_cols)
+    if n_rows == 0:
+        return dispersions
     for j in range(view.n_cols):
-        tokens = view.token_ids[:, j]
-        unique, counts = np.unique(tokens, return_counts=True)
-        shares = counts / counts.sum()
-        vectors = model.vectors[unique]
+        lo, hi = view.column_token_range(j)
+        shares = counts[lo:hi] / n_rows
+        vectors = model.vectors[lo:hi]
         mean = shares @ vectors
-        deltas = vectors - mean[np.newaxis, :]
-        dispersions[j] = float(shares @ np.einsum("bd,bd->b", deltas, deltas))
+        second_moment = shares @ np.einsum("bd,bd->b", vectors, vectors)
+        dispersions[j] = max(float(second_moment - mean @ mean), 0.0)
     return dispersions
 
 
 def _allocate_by_mass(masses: np.ndarray, total: int) -> np.ndarray:
     """Largest-remainder allocation of ``total`` slots proportional to mass."""
-    if masses.sum() <= 0:
-        masses = np.ones_like(masses)
-    quotas = total * masses / masses.sum()
-    base = np.floor(quotas).astype(np.int64)
-    remainder = total - int(base.sum())
-    if remainder > 0:
-        order = np.argsort(-(quotas - base))
-        base[order[:remainder]] += 1
-    return base
+    return allocate_quotas(masses, total)
 
 
 def _dispersion_column_pick(
@@ -87,27 +99,13 @@ def _dispersion_column_pick(
 
     n_clusters = min(n_free, len(candidates))
     result = KMeans(n_clusters=n_clusters, n_init=n_init, seed=rng).fit(column_vectors)
-    cluster_mass = np.array([
-        dispersion[result.labels == c].sum() for c in range(result.k)
-    ])
+    cluster_mass = label_sums(dispersion, result.labels, result.k)
+    sizes = np.bincount(result.labels, minlength=result.k)
     # Each cluster may hold at most its member count.
-    quotas = _allocate_by_mass(cluster_mass, n_free)
-    sizes = np.array([(result.labels == c).sum() for c in range(result.k)])
-    overflow = int(np.maximum(quotas - sizes, 0).sum())
-    quotas = np.minimum(quotas, sizes)
-    while overflow > 0:
-        headroom = sizes - quotas
-        eligible = np.flatnonzero(headroom > 0)
-        order = eligible[np.argsort(-cluster_mass[eligible])]
-        for c in order:
-            if overflow == 0:
-                break
-            quotas[c] += 1
-            overflow -= 1
+    quotas = allocate_quotas(cluster_mass, n_free, capacities=sizes)
 
     chosen: set[str] = set()
-    for c in range(result.k):
-        members = np.flatnonzero(result.labels == c)
+    for c, members in enumerate(group_members(result.labels, result.k)):
         ranked = members[np.argsort(-dispersion[members])]
         for index in ranked[: quotas[c]]:
             chosen.add(candidates[index])
@@ -133,32 +131,17 @@ def _mass_row_pick(
     n = row_vectors.shape[0]
     if k >= n:
         return list(range(n))
-    result = KMeans(n_clusters=k, n_init=n_init, seed=rng).fit(row_vectors)
+    result, labels = collapsed_kmeans_fit(row_vectors, k, n_init, rng)
     norms = np.einsum("nd,nd->n", row_vectors, row_vectors)
-    cluster_mass = np.array([
-        norms[result.labels == c].sum() for c in range(result.k)
-    ])
-    quotas = _allocate_by_mass(cluster_mass, k)
-    sizes = np.array([(result.labels == c).sum() for c in range(result.k)])
-    overflow = int(np.maximum(quotas - sizes, 0).sum())
-    quotas = np.minimum(quotas, sizes)
-    while overflow > 0:
-        headroom = sizes - quotas
-        eligible = np.flatnonzero(headroom > 0)
-        order = eligible[np.argsort(-cluster_mass[eligible])]
-        for c in order:
-            if overflow == 0:
-                break
-            if quotas[c] < sizes[c]:
-                quotas[c] += 1
-                overflow -= 1
+    cluster_mass = label_sums(norms, labels, result.k)
+    sizes = np.bincount(labels, minlength=result.k)
+    quotas = allocate_quotas(cluster_mass, k, capacities=sizes)
 
     chosen: list[int] = []
-    for c in range(result.k):
+    for c, members in enumerate(group_members(labels, result.k)):
         quota = int(quotas[c])
         if quota == 0:
             continue
-        members = np.flatnonzero(result.labels == c)
         member_vectors = row_vectors[members]
         # Farthest-point sweep with a running min-distance array: each new
         # pick costs one O(|members| * d) distance pass instead of

@@ -93,6 +93,20 @@ class Column:
         self.kind = kind
         self._data = self._coerce(values, kind)
 
+    @classmethod
+    def _from_coerced(cls, name: str, data: np.ndarray, kind: str) -> "Column":
+        """Construct from an already-canonical backing array, skipping
+        :meth:`_coerce`.  Only for data that came out of another Column's
+        storage (take/mask/rename) — the per-value coercion loop dominates
+        view construction on the serving hot path."""
+        if not isinstance(name, str) or not name:
+            raise ValueError("column name must be a non-empty string")
+        column = cls.__new__(cls)
+        column.name = name
+        column.kind = kind
+        column._data = data
+        return column
+
     @staticmethod
     def _coerce(values: Sequence, kind: str) -> np.ndarray:
         if kind == NUMERIC:
@@ -213,17 +227,17 @@ class Column:
     def take(self, indices) -> "Column":
         """New column containing the rows at ``indices`` (in order)."""
         indices = np.asarray(indices)
-        return Column(self.name, self._data[indices], kind=self.kind)
+        return Column._from_coerced(self.name, self._data[indices], self.kind)
 
     def mask(self, keep: np.ndarray) -> "Column":
         """New column keeping rows where the boolean ``keep`` mask is True."""
         keep = np.asarray(keep, dtype=bool)
         if keep.shape != self._data.shape:
             raise ValueError("mask length must equal column length")
-        return Column(self.name, self._data[keep], kind=self.kind)
+        return Column._from_coerced(self.name, self._data[keep], self.kind)
 
     def rename(self, name: str) -> "Column":
-        return Column(name, self._data, kind=self.kind)
+        return Column._from_coerced(name, self._data.copy(), self.kind)
 
     def value_counts(self) -> dict:
         """Counts of non-missing values, most frequent first."""

@@ -12,6 +12,13 @@ column index set, and packs all pattern masks into one bit matrix
 single vectorized AND over ``n_patterns x ceil(n/8)`` bytes rather than a
 python loop over per-row lists — fast enough to sit inside the greedy
 baseline's inner loop and the serving layer's per-query scoring.
+
+Cell-union arithmetic runs on the packed bits too, grouped by column: the
+union of covered cells in one column is the byte-wise OR of its patterns'
+packed masks, and its size a popcount — no boolean temporaries.  Both
+counts are exact integers, so the fast path is identical (not merely
+close) to the ``REPRO_KERNEL=reference`` boolean-mask loops it replaces;
+the property suite asserts equality on random instances.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.binning.pipeline import BinnedTable
+from repro.core.kernels import kernel_backend, popcount, union_mask
 from repro.rules.rule import AssociationRule
 
 
@@ -69,11 +77,43 @@ class CoverageEvaluator:
         for rule_id, pattern_id in enumerate(self._pattern_of_rule):
             self._rules_of_pattern[pattern_id].append(rule_id)
         self.n_patterns = len(self._rule_masks)
+        # Patterns grouped by column: per distinct rule column, the ids of
+        # the patterns containing it and their packed masks as one matrix.
+        # Every cell-union question ("how many cells do these patterns
+        # cover?") decomposes into one OR + popcount per touched column.
+        self._column_groups: list[tuple[str, np.ndarray, np.ndarray]] = []
+        by_column: dict[str, list[int]] = {}
+        for pattern_id, columns in enumerate(self._rule_columns):
+            for column in columns:
+                by_column.setdefault(column, []).append(pattern_id)
+        for column, ids in by_column.items():
+            ids_array = np.asarray(ids, dtype=np.int64)
+            self._column_groups.append(
+                (column, ids_array, self._packed_masks[ids_array])
+            )
         self.upcov = self._union_cell_count(range(self.n_patterns))
 
     # -- internals -----------------------------------------------------------
     def _union_cell_count(self, pattern_ids: Iterable[int]) -> int:
         """|union of cell(R, T)| over the given patterns."""
+        if kernel_backend() == "reference":
+            return self._union_cell_count_reference(pattern_ids)
+        ids = np.fromiter(pattern_ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        member = np.zeros(self.n_patterns, dtype=bool)
+        member[ids] = True
+        total = 0
+        for _, group_ids, packed in self._column_groups:
+            chosen = member[group_ids]
+            if not chosen.any():
+                continue
+            total += popcount(union_mask(packed[chosen]))
+        return total
+
+    def _union_cell_count_reference(self, pattern_ids: Iterable[int]) -> int:
+        """Boolean-mask oracle for :meth:`_union_cell_count`: the same
+        per-column unions accumulated row-mask by row-mask."""
         per_column: dict[str, np.ndarray] = {}
         for pattern_id in pattern_ids:
             mask = self._rule_masks[pattern_id]
@@ -136,6 +176,20 @@ class CoverageEvaluator:
         self._row_patterns[row_index] = patterns
         return list(patterns)
 
+    def pattern_bits_for_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """(n_patterns, len(rows)) 0/1 matrix: bit ``[p, i]`` set when
+        pattern ``p`` holds for full-table row ``row_indices[i]``.
+
+        One gather + shift over the packed mask matrix — the batch form of
+        :meth:`patterns_holding_for_row`, used by the greedy baselines to
+        score whole candidate sets at once.
+        """
+        rows = np.asarray(row_indices, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.binned.n_rows):
+            raise IndexError("row index out of range")
+        bytes_ = self._packed_masks[:, rows >> 3]
+        return (bytes_ >> (7 - (rows & 7))[np.newaxis, :]) & 1
+
     def rules_of_pattern(self, pattern_id: int) -> list[AssociationRule]:
         """All mined rules sharing one pattern (itemset)."""
         return [self.rules[rule_id] for rule_id in self._rules_of_pattern[pattern_id]]
@@ -155,6 +209,11 @@ class IncrementalCoverage:
     mutating state; ``add(row)`` commits.  Because cellCov is submodular in
     rows, gains only shrink as the selection grows, which the greedy baseline
     exploits via lazy evaluation.
+
+    State lives on the packed bits: per eligible column, a packed mask of
+    already-covered rows, updated by byte-wise OR.  Gains are popcounts of
+    ``new & ~covered`` — exact integers, identical to the
+    ``REPRO_KERNEL=reference`` boolean-mask accumulation.
     """
 
     def __init__(self, evaluator: CoverageEvaluator, columns: Sequence[str]):
@@ -168,6 +227,22 @@ class IncrementalCoverage:
         self._covered_patterns: set[int] = set()
         self._covered_by_column: dict[str, np.ndarray] = {}
         self.covered_cells = 0
+        # Fast-path state (built unconditionally so a backend flip between
+        # construction and use cannot strand the object): the evaluator's
+        # column groups restricted to the eligible patterns, and per-column
+        # packed covered masks.
+        self._groups: list[tuple[str, np.ndarray, np.ndarray]] = []
+        for column, ids, packed in evaluator._column_groups:
+            if column not in self._column_set:
+                continue
+            keep = np.fromiter(
+                (pattern_id in self._eligible_set for pattern_id in ids),
+                dtype=bool, count=len(ids),
+            )
+            if keep.any():
+                self._groups.append((column, ids[keep], packed[keep]))
+        self._packed_covered: dict[str, np.ndarray] = {}
+        self._member_scratch = np.zeros(evaluator.n_patterns, dtype=bool)
 
     def _new_patterns_for_row(self, row: int) -> list[int]:
         return [
@@ -177,11 +252,41 @@ class IncrementalCoverage:
             and pattern_id not in self._covered_patterns
         ]
 
+    def _packed_gain(self, new_ids: list[int], commit: bool) -> int:
+        """Cell gain of covering ``new_ids`` on the packed state; commits
+        the per-column unions and the pattern set when ``commit``."""
+        member = self._member_scratch
+        member[new_ids] = True
+        gain = 0
+        for column, ids, packed in self._groups:
+            chosen = member[ids]
+            if not chosen.any():
+                continue
+            union = union_mask(packed[chosen])
+            covered = self._packed_covered.get(column)
+            if covered is None:
+                gain += popcount(union)
+                if commit:
+                    self._packed_covered[column] = union.copy()
+            else:
+                gain += popcount(union & ~covered)
+                if commit:
+                    covered |= union
+        member[new_ids] = False
+        if commit:
+            self._covered_patterns.update(new_ids)
+        return gain
+
     def gain(self, row: int) -> int:
         """Covered-cell increase from adding ``row`` (state unchanged)."""
+        new_ids = self._new_patterns_for_row(row)
+        if not new_ids:
+            return 0
+        if kernel_backend() != "reference":
+            return self._packed_gain(new_ids, commit=False)
         gain = 0
         scratch: dict[str, np.ndarray] = {}
-        for pattern_id in self._new_patterns_for_row(row):
+        for pattern_id in new_ids:
             mask = self._evaluator.pattern_mask(pattern_id)
             for column in self._evaluator.pattern_columns(pattern_id):
                 base = self._covered_by_column.get(column)
@@ -198,10 +303,65 @@ class IncrementalCoverage:
                 gain += int(new.sum())
         return gain
 
+    def gains_for_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """``gain(row)`` for every row at once (state unchanged).
+
+        Rows sharing the same *uncovered eligible pattern set* share a
+        gain, so the batch collapses to one gain evaluation per distinct
+        pattern signature — on real tables the candidate pool folds onto
+        a few dozen signatures.  Exact-integer identical to calling
+        :meth:`gain` per row (the reference path does just that).
+        """
+        rows = np.asarray(row_indices, dtype=np.int64)
+        if kernel_backend() == "reference":
+            return np.array(
+                [self.gain(int(row)) for row in rows], dtype=np.int64
+            )
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        bits = self._evaluator.pattern_bits_for_rows(rows)
+        relevant = np.fromiter(
+            (
+                pattern_id in self._eligible_set
+                and pattern_id not in self._covered_patterns
+                for pattern_id in range(self._evaluator.n_patterns)
+            ),
+            dtype=bool, count=self._evaluator.n_patterns,
+        )
+        bits = bits[relevant]
+        relevant_ids = np.flatnonzero(relevant)
+        if bits.shape[0] == 0:
+            return np.zeros(rows.size, dtype=np.int64)
+        # Dedupe candidate rows by pattern signature (columns of ``bits``).
+        signatures = np.ascontiguousarray(bits.T)
+        _, first, inverse = np.unique(
+            signatures, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)  # axis-unique inverse shape, numpy<2.1
+        unique_gains = np.empty(first.size, dtype=np.int64)
+        for u, row_position in enumerate(first):
+            new_ids = [
+                int(pattern_id)
+                for pattern_id in relevant_ids[
+                    np.flatnonzero(signatures[row_position])
+                ]
+            ]
+            unique_gains[u] = (
+                self._packed_gain(new_ids, commit=False) if new_ids else 0
+            )
+        return unique_gains[inverse]
+
     def add(self, row: int) -> int:
         """Commit ``row``; returns the realized gain."""
+        new_ids = self._new_patterns_for_row(row)
+        if not new_ids:
+            return 0
+        if kernel_backend() != "reference":
+            gain = self._packed_gain(new_ids, commit=True)
+            self.covered_cells += gain
+            return gain
         gain = 0
-        for pattern_id in self._new_patterns_for_row(row):
+        for pattern_id in new_ids:
             mask = self._evaluator.pattern_mask(pattern_id)
             self._covered_patterns.add(pattern_id)
             for column in self._evaluator.pattern_columns(pattern_id):

@@ -1,0 +1,13 @@
+"""Strict-scope fixture: unseeded ensure_rng inside a greedy baseline."""
+
+from repro.utils.rng import ensure_rng
+
+
+def sampled_pick_with_entropy(pool):
+    rng = ensure_rng()  # BAD: entropy fallback in a strict scope
+    return pool[rng.integers(0, len(pool))]
+
+
+def sampled_pick_with_explicit_none(pool):
+    rng = ensure_rng(None)  # BAD: literal None is the same loophole
+    return pool[rng.integers(0, len(pool))]

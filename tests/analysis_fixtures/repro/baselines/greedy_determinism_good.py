@@ -1,0 +1,12 @@
+"""Strict-scope fixture: explicitly seeded draws pass in greedy modules."""
+
+from repro.utils.rng import ensure_rng
+
+
+def sampled_pick_from_seed(pool, seed: int):
+    rng = ensure_rng(int(seed))  # OK: a pure function of the seed
+    return pool[rng.integers(0, len(pool))]
+
+
+def sampled_pick_from_caller_rng(pool, rng):
+    return pool[ensure_rng(rng).integers(0, len(pool))]  # OK: threaded

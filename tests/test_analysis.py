@@ -253,6 +253,24 @@ def test_determinism_strict_scope_accepts_explicit_seeds():
     ) == []
 
 
+def test_determinism_strict_glob_flags_greedy_baselines():
+    # The greedy modules are strict via fnmatch glob, not directory part:
+    # their sampling feeds committed tradeoff records that must replay.
+    findings = analyse(
+        FIXTURES / "repro" / "baselines" / "greedy_determinism_bad.py",
+        "determinism",
+    )
+    assert len(findings) == 2
+    assert all("entropy" in f.message for f in findings)
+
+
+def test_determinism_strict_glob_accepts_seeded_greedy_baselines():
+    assert analyse(
+        FIXTURES / "repro" / "baselines" / "greedy_determinism_good.py",
+        "determinism",
+    ) == []
+
+
 def test_determinism_ensure_rng_default_is_fine_outside_strict_scope(
     tmp_path,
 ):

@@ -37,6 +37,7 @@ FAST_OPTIONS = {
     "ran": dict(time_budget=0.05, min_draws=3, max_draws=3),
     "mab": dict(iterations=10),
     "greedy": dict(max_combinations=5, order="random"),
+    "greedy-approx": dict(max_combinations=5, sample_rate=0.5, min_sample=4),
     "semigreedy": dict(time_budget=0.2, max_combinations=5),
     "embdi": dict(walks_per_node=1, walk_length=6,
                   word2vec=Word2VecConfig(epochs=1, dim=8)),
@@ -56,11 +57,13 @@ def subtab_engine(planted_frame, fast_config):
 class TestRegistry:
     def test_names_cover_all_algorithms(self):
         assert selector_names() == [
-            "embdi", "greedy", "mab", "nc", "ran", "semigreedy", "subtab",
+            "embdi", "greedy", "greedy-approx", "mab", "nc", "ran",
+            "semigreedy", "subtab",
         ]
 
     @pytest.mark.parametrize("name", [
-        "subtab", "ran", "nc", "greedy", "semigreedy", "mab", "embdi",
+        "subtab", "ran", "nc", "greedy", "greedy-approx", "semigreedy",
+        "mab", "embdi",
     ])
     def test_every_name_constructs_prepares_selects(self, name, planted_binned,
                                                     fast_config):
