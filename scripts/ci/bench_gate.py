@@ -57,6 +57,12 @@ def _headline_qps(record: dict) -> dict:
             "gateway": record["gateway"]["achieved_qps"],
             "raw_socket": record["raw_socket"]["achieved_qps"],
         }
+    if experiment == "http_cache":
+        return {
+            "cache_on": record["cache_on"]["achieved_qps"],
+            "cache_off": record["cache_off"]["achieved_qps"],
+            "raw_socket": record["raw_socket"]["achieved_qps"],
+        }
     if experiment == "kernel_qps":
         return {"kernel_cold": record["cold"]["qps"]}
     raise ValueError(f"no QPS extraction for experiment {experiment!r}")
@@ -79,6 +85,13 @@ def _headline_p99(record: dict) -> dict:
         if "p99" not in latency:
             return {}
         return {"gateway_p99": (latency["p99"], latency.get("count", 0))}
+    if experiment == "http_cache":
+        # cache_on's p99 is its pass-1 miss tail — gate the uncached
+        # leg, whose tail is the comparable serving figure.
+        latency = record.get("cache_off", {}).get("latency", {})
+        if "p99" not in latency:
+            return {}
+        return {"cache_off_p99": (latency["p99"], latency.get("count", 0))}
     return {}
 
 

@@ -1,0 +1,130 @@
+"""Docs executability check: every ``# docs-test`` block must run.
+
+The docs under ``docs/`` carry fenced ``python``/``bash`` code blocks
+whose first line is ``# docs-test`` — quickstarts, API walkthroughs, the
+cache flow, the tenant-config reference.  Prose examples rot silently;
+this smoke extracts every marked block and executes it, so a doc example
+that drifts from the real API fails CI exactly like a broken test.
+
+Harness contract (what the blocks may assume):
+
+* the block runs from the repo root with ``src/`` importable
+  (``PYTHONPATH`` is set for subprocesses too, so ``PYTHONPATH=src
+  python -m repro ...`` in a bash block also works);
+* a live gateway (response cache on, one ``docs`` tenant) fronts the
+  shared smoke artifact; its base URL and API key are exported as
+  ``REPRO_DOCS_BASE`` and ``REPRO_DOCS_KEY``;
+* ``python`` blocks run as ``python -c <block>``; ``bash`` blocks run
+  as ``bash -euo pipefail -c <block>`` — any non-zero exit, unset
+  variable, or failed pipe stage fails the block.
+
+Runs in CI and locally: ``python scripts/ci/docs_check.py``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from smoke_common import REPO_ROOT, ensure_artifact, repro_env
+
+DOCS_DIR = REPO_ROOT / "docs"
+MARKER = "# docs-test"
+RUNNERS = {
+    "python": lambda code: [sys.executable, "-c", code],
+    "bash": lambda code: ["bash", "-euo", "pipefail", "-c", code],
+}
+
+
+def extract_blocks(path: Path) -> list:
+    """``(language, start_line, code)`` for each marked block in ``path``.
+
+    A block is a fenced region whose info string is a known language and
+    whose first line is the ``# docs-test`` marker (kept in the executed
+    code — it is a comment in both languages).  An unterminated fence is
+    a hard error: silently dropping the tail would un-test the doc.
+    """
+    blocks, fence, start, lines = [], None, 0, []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if fence is None:
+            if stripped.startswith("```") and stripped[3:] in RUNNERS:
+                fence, start, lines = stripped[3:], number, []
+        elif stripped == "```":
+            if lines and lines[0].strip() == MARKER:
+                blocks.append((fence, start, "\n".join(lines)))
+            fence = None
+        else:
+            lines.append(line)
+    if fence is not None:
+        raise SystemExit(f"docs check: unterminated ``` fence in "
+                         f"{path.name} (opened at line {start})")
+    return blocks
+
+
+def run_block(language: str, code: str, env: dict, label: str) -> bool:
+    """Execute one block; on failure dump its output and return False."""
+    result = subprocess.run(
+        RUNNERS[language](code), cwd=REPO_ROOT, env=env,
+        capture_output=True, text=True, timeout=600,
+    )
+    if result.returncode == 0:
+        tail = result.stdout.strip().splitlines()
+        print(f"docs check: PASS {label}"
+              + (f" -- {tail[-1]}" if tail else ""))
+        return True
+    print(f"docs check: FAIL {label} (exit {result.returncode})")
+    print("---- block " + "-" * 48)
+    print(code)
+    print("---- stdout " + "-" * 47)
+    print(result.stdout.rstrip())
+    print("---- stderr " + "-" * 47)
+    print(result.stderr.rstrip())
+    print("-" * 60)
+    return False
+
+
+def main() -> int:
+    artifact = ensure_artifact()
+
+    from repro.api import Engine
+    from repro.gateway import HttpGateway, TenantRegistry, TenantSpec
+    from repro.serve import InProcessBackend
+
+    documents = sorted(DOCS_DIR.glob("*.md"))
+    extracted = {path: extract_blocks(path) for path in documents}
+    total = sum(len(blocks) for blocks in extracted.values())
+    if total == 0:
+        raise SystemExit("docs check: no # docs-test blocks found under "
+                         "docs/ -- the docs are no longer executable")
+
+    registry = TenantRegistry([TenantSpec(name="docs", key="docs-key")])
+    gateway = HttpGateway(
+        InProcessBackend(Engine.load(artifact)),
+        tenants=registry, own_backend=True, cache_size=64,
+    ).start()
+    try:
+        host, port = gateway.address
+        env = repro_env()
+        env["REPRO_DOCS_BASE"] = f"http://{host}:{port}"
+        env["REPRO_DOCS_KEY"] = "docs-key"
+
+        failures = 0
+        for path, blocks in extracted.items():
+            for language, line, code in blocks:
+                label = f"{path.name}:{line} [{language}]"
+                failures += not run_block(language, code, env, label)
+    finally:
+        gateway.close()
+
+    if failures:
+        print(f"docs check: {failures}/{total} block(s) failed")
+        return 1
+    print(f"docs check: {total} # docs-test blocks across "
+          f"{len(documents)} docs executed against a live gateway")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,19 +9,30 @@ driver is deliberately *not* our own ``HttpBackend`` but plain
 gets correct answers, so the smoke must not share client code with the
 gateway.
 
-Three gates:
+The gateway runs with its response cache **on** (``cache_size=64``), so
+the smoke also proves the cache never changes an answer: repeats served
+from entry bytes must be byte-identical to cold replies, and the
+dispatcher must see exactly the cache misses — never a shed or cached
+request.
+
+Four gates:
 
 1. **bit-identical** — every generated session request served through
    ``urllib -> gateway -> cluster -> asyncio store server`` matches the
    in-process engine byte for byte (volatile timing fields excluded),
-   via the same diff harness as the socket smokes;
+   via the same diff harness as the socket smokes — whether the reply
+   came from the backend (``X-Cache: miss``) or the cache (``hit``);
 2. **traced hop** — an ``X-Trace-Id`` header on the request comes back
    as the reply envelope's trace id, with gateway, backend, *and*
    nested ``transport`` stage timings (the id crossed process and
-   protocol boundaries);
+   protocol boundaries; traced requests bypass the cache lookup, so the
+   timings are always live);
 3. **429 under a burst** — a tenant with a two-deep token bucket gets
    exactly its burst admitted and the rest shed with 429 +
-   ``Retry-After``, before any of the shed requests reach the backend.
+   ``Retry-After``, before any of the shed requests reach the backend;
+4. **304 revalidation** — a conditional request with the ``ETag`` a
+   cold reply returned comes back ``304 Not Modified`` with an empty
+   body, without touching the backend.
 
 Runs in CI and locally: ``python scripts/ci/http_smoke.py``.
 """
@@ -41,14 +52,21 @@ DATASET = "cyber"
 
 
 def _post(base: str, path: str, payload: dict, key: str,
-          trace_id: "str | None" = None) -> tuple:
-    """``(status, headers, body_dict)`` for one stdlib-urllib POST."""
+          trace_id: "str | None" = None,
+          etag: "str | None" = None) -> tuple:
+    """``(status, headers, body_dict)`` for one stdlib-urllib POST.
+
+    A ``304`` (and any other body-less reply) returns ``None`` for the
+    body — urllib surfaces 3xx/4xx as ``HTTPError``, and 304 carries no
+    payload to parse.
+    """
     request = urllib.request.Request(
         f"{base}{path}",
         data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json",
                  "Authorization": f"Bearer {key}",
-                 **({"X-Trace-Id": trace_id} if trace_id else {})},
+                 **({"X-Trace-Id": trace_id} if trace_id else {}),
+                 **({"If-None-Match": etag} if etag else {})},
         method="POST",
     )
     try:
@@ -56,7 +74,8 @@ def _post(base: str, path: str, payload: dict, key: str,
             return (response.status, dict(response.headers),
                     json.loads(response.read().decode("utf-8")))
     except urllib.error.HTTPError as error:
-        body = json.loads(error.read().decode("utf-8"))
+        raw = error.read()
+        body = json.loads(raw.decode("utf-8")) if raw else None
         return error.code, dict(error.headers), body
 
 
@@ -89,16 +108,17 @@ def main() -> int:
         ])
         gateway = HttpGateway(
             ClusterRouter(members, replication=2, own_members=True),
-            tenants=registry, own_backend=True,
+            tenants=registry, own_backend=True, cache_size=64,
         ).start()
         host, port = gateway.address
         base = f"http://{host}:{port}"
 
         # -- gate 1: bit-identical through the whole stack ----------------
-        served = []
+        served, cache_hits = [], 0
         for request in requests:
-            status, _headers, body = _post(base, "/v1/select",
-                                           request.to_wire(), "smoke-key")
+            status, headers, body = _post(base, "/v1/select",
+                                          request.to_wire(), "smoke-key")
+            cache_hits += headers.get("X-Cache") == "hit"
             if status == 200 and body.get("ok"):
                 served.append(SelectionResponse.from_wire(body["response"]))
             else:
@@ -142,14 +162,40 @@ def main() -> int:
                 assert body.get("kind") == "admission", (
                     f"shed reply must carry the admission kind: {body}"
                 )
-        # Shed requests never reached the backend: the dispatcher only
-        # ever saw the admitted ones.
+        # -- gate 4: conditional request revalidates with 304 -------------
+        status, headers, _body = _post(base, "/v1/select", probe.to_wire(),
+                                       "smoke-key")
+        assert status == 200 and headers.get("X-Cache") == "hit", (
+            f"probe should be cached by now: {status} {headers}"
+        )
+        etag = headers["ETag"]
+        status, headers, body = _post(base, "/v1/select", probe.to_wire(),
+                                      "smoke-key", etag=etag)
+        assert status == 304 and body is None, (
+            f"conditional request should 304 with an empty body, got "
+            f"{status}: {body}"
+        )
+        assert headers.get("ETag") == etag, (
+            f"304 must echo the entry's ETag: {headers}"
+        )
+
+        # Shed and cached requests never reached the backend: the
+        # dispatcher saw gate 1's misses, the traced probe (tracing
+        # bypasses the lookup), and the burst tenant's one miss — its
+        # second admit hit its own cache namespace, and gates 1/4 served
+        # every repeat from entry bytes.
         dispatched = gateway.app.dispatcher.metrics \
             .counter("ops.select").value
-        expected_dispatched = len(requests) + 1 + statuses.count(200)
+        expected_dispatched = (len(requests) - cache_hits) + 1 + 1
         assert dispatched == expected_dispatched, (
             f"dispatcher served {dispatched} selects, expected "
-            f"{expected_dispatched} — a shed request reached the backend"
+            f"{expected_dispatched} — a shed or cached request reached "
+            f"the backend"
+        )
+        cache_misses = gateway.app.metrics.counter("cache.misses").value
+        assert dispatched == cache_misses + 1, (
+            f"every dispatch but the traced probe must be a cache miss: "
+            f"{dispatched} dispatched vs {cache_misses} misses"
         )
     finally:
         if gateway is not None:
@@ -162,9 +208,11 @@ def main() -> int:
         shutil.rmtree(root, ignore_errors=True)
 
     print(f"http smoke: {checked} urllib responses bit-identical through "
-          f"gateway -> cluster -> 2 asyncio store servers; trace "
+          f"gateway -> cluster -> 2 asyncio store servers "
+          f"({cache_hits} served from the response cache); trace "
           f"smoke-trace-1 crossed {len(stages)} stages; burst tenant shed "
-          f"{statuses.count(429)}/5 with Retry-After "
+          f"{statuses.count(429)}/5 with Retry-After; conditional request "
+          f"revalidated with 304 "
           f"(volatile fields excluded: {', '.join(VOLATILE_FIELDS)})")
     return 0
 

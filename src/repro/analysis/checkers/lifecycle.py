@@ -40,6 +40,7 @@ WATCHED_CONSTRUCTORS = {
     "ClusterRouter", "artifact_backend", "spawn_artifact_server",
     "spawn_store_server",
     "HttpGateway", "HttpServer", "HttpBackend", "GatewayApp",
+    "ResponseCache",
 }
 
 _RELEASE_METHODS = {"close", "stop", "kill", "terminate", "shutdown"}

@@ -24,6 +24,7 @@ from repro.bench.harness import (
 from repro.bench.experiments import (
     AsyncQPSResult,
     ClusterQPSResult,
+    HttpCacheResult,
     HttpQPSResult,
     KernelQPSResult,
     LoadgenResult,
@@ -37,6 +38,7 @@ from repro.bench.experiments import (
     UserStudyExperimentResult,
     run_async_qps_experiment,
     run_cluster_qps_experiment,
+    run_http_cache_experiment,
     run_http_qps_experiment,
     run_kernel_qps_experiment,
     run_loadgen_experiment,
@@ -55,6 +57,7 @@ __all__ = [
     "AsyncQPSResult",
     "BENCH_ROWS",
     "ClusterQPSResult",
+    "HttpCacheResult",
     "HttpQPSResult",
     "DatasetBundle",
     "KernelQPSResult",
@@ -76,6 +79,7 @@ __all__ = [
     "prepare_selectors",
     "run_async_qps_experiment",
     "run_cluster_qps_experiment",
+    "run_http_cache_experiment",
     "run_http_qps_experiment",
     "run_kernel_qps_experiment",
     "run_loadgen_experiment",

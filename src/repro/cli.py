@@ -158,6 +158,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --transport http: tenant config JSON "
                             "(API keys, rate limits, max_inflight); "
                             "omitted: the gateway is open (no auth)")
+    serve.add_argument("--http-cache-size", type=int, default=0,
+                       metavar="ENTRIES",
+                       help="with --transport http: cache up to ENTRIES "
+                            "select/select_many responses at the gateway, "
+                            "keyed on the canonical request + artifact "
+                            "fingerprint, with strong-ETag revalidation "
+                            "(0: off)")
     serve.add_argument("--connect", default=None, metavar="HOST:PORT[,...]",
                        help="serve through remote socket server(s); several "
                             "comma-separated members form a consistent-hash "
@@ -386,7 +393,8 @@ def _serve_socket(args) -> int:
         from repro.gateway import HttpGateway
 
         server = HttpGateway(backend, host=args.host, port=args.port,
-                             tenants=registry, own_backend=True).start()
+                             tenants=registry, own_backend=True,
+                             cache_size=args.http_cache_size).start()
     elif args.transport == "asyncio":
         server = AsyncSocketServer(backend, host=args.host, port=args.port,
                                    own_backend=True).start()
@@ -423,6 +431,9 @@ def _cmd_serve(args) -> int:
     if args.tenants and args.transport != "http":
         raise SystemExit("serve: --tenants configures the HTTP gateway; "
                          "it requires --transport http")
+    if args.http_cache_size and args.transport != "http":
+        raise SystemExit("serve: --http-cache-size configures the HTTP "
+                         "gateway; it requires --transport http")
     if args.transport in ("socket", "asyncio", "http"):
         return _serve_socket(args)
 

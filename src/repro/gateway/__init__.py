@@ -11,6 +11,9 @@ topologies nest unchanged behind it):
   buckets, and the global concurrency-cap admission controller;
 * :mod:`repro.gateway.app` — routes, taxonomy → status mapping, tenant
   metrics, and ``X-Trace-Id`` propagation into the wire-envelope trace;
+* :mod:`repro.gateway.cache` — the fingerprint-keyed response cache
+  (strong ``ETag`` revalidation, per-tenant isolation, generation-based
+  invalidation learned from backend ``stats()``);
 * :mod:`repro.gateway.client` — :class:`HttpBackend`, the gateway as an
   ``ExecutionBackend`` for the loadgen harness and the benches.
 """
@@ -33,6 +36,15 @@ from repro.gateway.http import (
     StreamingResponse,
     read_request,
 )
+from repro.gateway.cache import (
+    CacheEntry,
+    ResponseCache,
+    canonical_request_text,
+    etag_matches,
+    extract_fingerprints,
+    make_etag,
+    request_key,
+)
 from repro.gateway.tenants import (
     AdmissionController,
     AdmissionRejected,
@@ -48,6 +60,7 @@ __all__ = [
     "ANONYMOUS",
     "AdmissionController",
     "AdmissionRejected",
+    "CacheEntry",
     "GatewayApp",
     "GatewayAuthError",
     "HttpBackend",
@@ -59,12 +72,18 @@ __all__ = [
     "MAX_BODY_BYTES",
     "MAX_HEADER_BYTES",
     "MAX_REQUEST_LINE_BYTES",
+    "ResponseCache",
     "StreamingResponse",
     "TenantConfigError",
     "TenantForbiddenError",
     "TenantRegistry",
     "TenantSpec",
     "TokenBucket",
+    "canonical_request_text",
+    "etag_matches",
+    "extract_fingerprints",
+    "make_etag",
     "read_request",
+    "request_key",
     "session_steps",
 ]

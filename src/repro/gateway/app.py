@@ -47,6 +47,11 @@ from repro.obs import (
     make_stage,
     propagate_trace_id,
 )
+from repro.gateway.cache import (
+    ResponseCache,
+    etag_matches,
+    request_key,
+)
 from repro.gateway.http import (
     HttpError,
     HttpRequest,
@@ -114,6 +119,8 @@ class GatewayApp:
         tenants: Optional[TenantRegistry] = None,
         max_inflight: int = 64,
         dispatch_threads: int = 8,
+        cache_size: int = 0,
+        cache_refresh_seconds: float = 2.0,
     ):
         self.backend = backend
         self.dispatcher = BackendDispatcher(backend)
@@ -122,14 +129,27 @@ class GatewayApp:
             max_inflight = tenants.max_inflight
         self.admission = AdmissionController(max_inflight)
         #: Gateway-level telemetry: ``gateway.requests``,
-        #: ``gateway.latency``, per-status and per-tenant counters.
+        #: ``gateway.latency``, per-status, per-tenant, and (with the
+        #: cache enabled) ``cache.*`` counters.
         self.metrics = MetricsRegistry()
+        #: Fingerprint-keyed response cache for ``/v1/select`` and
+        #: ``/v1/select_many`` (``cache_size=0``: disabled).  Counters
+        #: share ``self.metrics``; invalidation learns the backend's
+        #: artifact fingerprints from ``stats()`` snapshots at most once
+        #: per ``cache_refresh_seconds``.
+        self.cache: Optional[ResponseCache] = (
+            ResponseCache(cache_size, registry=self.metrics,
+                          refresh_seconds=cache_refresh_seconds)
+            if cache_size > 0 else None
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, dispatch_threads),
             thread_name_prefix="gateway-dispatch",
         )
 
     def close(self) -> None:
+        if self.cache is not None:
+            self.cache.close()
         self._executor.shutdown(wait=False)
 
     # -- plumbing ------------------------------------------------------------
@@ -254,6 +274,66 @@ class GatewayApp:
             return payload
         return {**cls._WIRE_DEFAULTS, **payload}
 
+    # -- response cache ------------------------------------------------------
+    def _cache_enabled(self, tenant: TenantSpec) -> bool:
+        # cache_quota=0 opts a tenant out entirely: its replies are
+        # neither stored nor served from other entries of its own.
+        return self.cache is not None and tenant.cache_quota != 0
+
+    async def _maybe_refresh_cache(self) -> None:
+        """Learn the backend's artifact generations (rate-limited).
+
+        ``refresh_due`` claims at most one slot per refresh window, so
+        concurrent handlers never stampede the backend with ``stats()``
+        calls.  The call runs on the dispatcher (serialized with every
+        other backend call) outside the admission cap — invalidation
+        must not be shed along with client load.
+        """
+        if self.cache is None or not self.cache.refresh_due():
+            return
+        loop = asyncio.get_running_loop()
+        reply = await loop.run_in_executor(
+            self._executor,
+            lambda: self.dispatcher.handle_message({"op": "stats"}),
+        )
+        if reply.get("ok"):
+            self.cache.observe_stats(reply["stats"])
+
+    def _cached_response(self, request: HttpRequest, entry) -> HttpResponse:
+        """Serve one cache hit: 304 for a matching ``If-None-Match``,
+        otherwise the exact cached bytes with their strong ``ETag``."""
+        if etag_matches(request.headers.get("if-none-match"), entry.etag):
+            self.cache.revalidated()
+            return HttpResponse(304, headers=(
+                ("ETag", entry.etag), ("X-Cache", "revalidated"),
+            ))
+        return HttpResponse(200, body=entry.body, headers=(
+            ("ETag", entry.etag), ("X-Cache", "hit"),
+        ))
+
+    def _store_and_respond(self, tenant: TenantSpec, cache_key: str,
+                           datasets, reply: dict,
+                           trace_id: Optional[str]) -> HttpResponse:
+        """Admit one fresh ``ok`` reply and answer the miss.
+
+        The cached twin strips the per-call envelope (trace stages, echo
+        id) so replayed hits are byte-stable; an *untraced* miss is
+        answered with the stored bytes themselves, making cold and
+        cached responses bit-identical by construction.  A traced
+        request keeps its live envelope — it skipped the lookup, since
+        tracing diagnoses the live path — but still stores the stripped
+        twin for untraced callers.
+        """
+        cacheable = {key: value for key, value in reply.items()
+                     if key not in (TRACE_KEY, "id")}
+        body = json.dumps(cacheable).encode("utf-8")
+        entry = self.cache.store(tenant.name, cache_key, datasets, body,
+                                 quota=tenant.cache_quota)
+        headers = (("ETag", entry.etag), ("X-Cache", "miss"))
+        if trace_id is not None:
+            return HttpResponse(200, reply, headers=headers)
+        return HttpResponse(200, body=entry.body, headers=headers)
+
     # -- routes --------------------------------------------------------------
     async def _select(self, request: HttpRequest, tenant: TenantSpec,
                       trace_id: Optional[str], started: float,
@@ -265,12 +345,28 @@ class GatewayApp:
                      f"(a SelectionRequest wire payload), got "
                      f"{type(payload).__name__}"
             )
+        wire = self._tag_request(payload)
         message = self._traced_message(
-            {"op": "select", "request": self._tag_request(payload)},
-            trace_id,
+            {"op": "select", "request": wire}, trace_id,
         )
+        cache_key = None
+        if self._cache_enabled(tenant):
+            cache_key = request_key("/v1/select", wire)
+            await self._maybe_refresh_cache()
+            # A traced request is a diagnostic of the live path: it
+            # skips the lookup (its reply must carry fresh stage
+            # timings) but still populates the cache on the way out.
+            if trace_id is None:
+                entry = self.cache.lookup(tenant.name, cache_key)
+                if entry is not None:
+                    return self._cached_response(request, entry)
         reply = await self._dispatch(message, trace_id)
         self._finish_trace(reply, trace_id, started)
+        if cache_key is not None and reply.get("ok"):
+            return self._store_and_respond(
+                tenant, cache_key, [wire.get("dataset") or ""],
+                reply, trace_id,
+            )
         return HttpResponse(self._reply_status(reply), reply)
 
     async def _select_many(self, request: HttpRequest, tenant: TenantSpec,
@@ -283,15 +379,34 @@ class GatewayApp:
                 400, "request body must be a JSON object with a "
                      "\"requests\" array of wire payloads"
             )
+        wires = [self._tag_request(entry)
+                 if isinstance(entry, dict) else entry
+                 for entry in payload["requests"]]
         message = self._traced_message(
-            {"op": "select_many",
-             "requests": [self._tag_request(entry)
-                          if isinstance(entry, dict) else entry
-                          for entry in payload["requests"]]},
-            trace_id,
+            {"op": "select_many", "requests": wires}, trace_id,
         )
+        cache_key = None
+        if self._cache_enabled(tenant):
+            cache_key = request_key("/v1/select_many", {"requests": wires})
+            await self._maybe_refresh_cache()
+            if trace_id is None:
+                entry = self.cache.lookup(tenant.name, cache_key)
+                if entry is not None:
+                    return self._cached_response(request, entry)
         reply = await self._dispatch(message, trace_id)
         self._finish_trace(reply, trace_id, started)
+        # Cache only fully-ok batches: a slot holding a backend-kind
+        # failure (member down mid-batch) must be recomputed, not
+        # replayed for the cache's lifetime.
+        if cache_key is not None and reply.get("ok") and all(
+            isinstance(result, dict) and result.get("ok")
+            for result in reply.get("results", ())
+        ):
+            datasets = {wire.get("dataset") or ""
+                        for wire in wires if isinstance(wire, dict)}
+            return self._store_and_respond(
+                tenant, cache_key, datasets, reply, trace_id,
+            )
         return HttpResponse(self._reply_status(reply), reply)
 
     def _parse_steps(self, request: HttpRequest) -> list:
@@ -362,10 +477,39 @@ class GatewayApp:
 
         return StreamingResponse(lines())
 
+    def gateway_info(self) -> dict:
+        """Front-door accounting: admission, auth, and cache state.
+
+        Rides ``/v1/stats`` under ``stats.gateway`` so a client-side
+        operator sees shed and hit rates, not only the proxied backend
+        envelope."""
+        return {
+            "requests": self.metrics.counter("gateway.requests").value,
+            "admission": {
+                "max_inflight": self.admission.max_inflight,
+                "inflight": self.admission.inflight,
+                "rejected": self.metrics.counter(
+                    "gateway.admission.rejected").value,
+            },
+            "auth": {
+                "unauthorized": self.metrics.counter(
+                    "gateway.auth.unauthorized").value,
+                "forbidden": self.metrics.counter(
+                    "gateway.auth.forbidden").value,
+            },
+            "cache": None if self.cache is None else self.cache.info(),
+        }
+
     async def _stats(self, request: HttpRequest, tenant: TenantSpec,
                      trace_id: Optional[str], started: float,
                      ) -> HttpResponse:
         reply = await self._dispatch({"op": "stats"}, trace_id)
+        if reply.get("ok"):
+            reply["stats"]["gateway"] = self.gateway_info()
+            if self.cache is not None:
+                # A stats round trip already paid for the snapshot:
+                # let the cache learn the generations it carries.
+                self.cache.observe_stats(reply["stats"])
         return HttpResponse(self._reply_status(reply), reply)
 
     async def _metrics(self, request: HttpRequest, tenant: TenantSpec,
@@ -471,6 +615,8 @@ class HttpGateway:
         max_inflight: int = 64,
         dispatch_threads: int = 8,
         own_backend: bool = False,
+        cache_size: int = 0,
+        cache_refresh_seconds: float = 2.0,
     ):
         self.backend = backend
         self.app = GatewayApp(
@@ -478,6 +624,8 @@ class HttpGateway:
             tenants=tenants,
             max_inflight=max_inflight,
             dispatch_threads=dispatch_threads,
+            cache_size=cache_size,
+            cache_refresh_seconds=cache_refresh_seconds,
         )
         self._own_backend = own_backend
         self._server = HttpServer(self.app.handle, host=host, port=port)

@@ -34,7 +34,9 @@ import time
 from typing import Iterator, Optional, Sequence
 from urllib.parse import quote
 
+from repro.api.cache import LRUCache
 from repro.api.request import SelectionRequest, SelectionResponse
+from repro.gateway.cache import canonical_request_text
 from repro.gateway.tenants import (
     AdmissionRejected,
     GatewayAuthError,
@@ -93,6 +95,7 @@ class HttpBackend(BaseBackend):
         connect_timeout: float = 5.0,
         call_timeout: Optional[float] = 120.0,
         trace: bool = False,
+        etag_cache_size: int = 128,
     ):
         super().__init__()
         self.host, self.port = parse_address(address)
@@ -106,6 +109,15 @@ class HttpBackend(BaseBackend):
         self._local = threading.local()
         self._lock = threading.Lock()
         self._connections: list = []
+        #: Validator memo: canonical request → ``(etag, reply bytes)``.
+        #: When the gateway's response cache still holds the entry, a
+        #: repeat request sends ``If-None-Match`` and the 304 answer is
+        #: replayed from here — the reply body never crosses the wire
+        #: again (``etag_cache_size=0`` disables revalidation).
+        self._etags: Optional[LRUCache] = (
+            LRUCache(maxsize=etag_cache_size)
+            if etag_cache_size > 0 else None
+        )
 
     @property
     def address(self) -> str:
@@ -139,26 +151,31 @@ class HttpBackend(BaseBackend):
         except OSError:
             pass
 
-    def _headers(self, trace_id: Optional[str]) -> dict:
+    def _headers(self, trace_id: Optional[str],
+                 etag: Optional[str] = None) -> dict:
         headers = {"Content-Type": "application/json",
                    "Accept": "application/json"}
         if self.api_key is not None:
             headers["Authorization"] = f"Bearer {self.api_key}"
         if trace_id is not None:
             headers["X-Trace-Id"] = trace_id
+        if etag is not None:
+            headers["If-None-Match"] = etag
         return headers
 
     def _roundtrip(self, method: str, path: str,
                    body: Optional[bytes], trace_id: Optional[str],
-                   *, reconnect: bool = True) -> tuple:
-        """``(status, headers, payload)`` for one request (one retry on a
-        stale keep-alive connection, :class:`TransportError` beyond it)."""
+                   *, etag: Optional[str] = None,
+                   reconnect: bool = True) -> tuple:
+        """``(status, headers, body_bytes)`` for one request (one retry
+        on a stale keep-alive connection, :class:`TransportError` beyond
+        it)."""
         self._require_open()
         connection = self._connection()
         fresh = connection.sock is None
         try:
             connection.request(method, path, body=body,
-                               headers=self._headers(trace_id))
+                               headers=self._headers(trace_id, etag))
             response = connection.getresponse()
             payload_bytes = response.read()
         except (http.client.HTTPException, ConnectionError,
@@ -168,33 +185,52 @@ class HttpBackend(BaseBackend):
                 # The kept connection may simply have gone stale
                 # (gateway restarted between calls): retry once fresh.
                 return self._roundtrip(method, path, body, trace_id,
-                                       reconnect=False)
+                                       etag=etag, reconnect=False)
             raise TransportError(
                 f"http request to {self.address} failed: "
                 f"{type(error).__name__}: {error}"
             ) from error
         return (response.status, dict(response.getheaders()),
-                _decode_body(response.status, payload_bytes))
+                payload_bytes)
+
+    def _memo_key(self, method: str, path: str,
+                  body: Optional[dict]) -> Optional[str]:
+        if self._etags is None or method != "POST" or body is None \
+                or path not in ("/v1/select", "/v1/select_many"):
+            return None
+        return f"{path}\n{canonical_request_text(body)}"
 
     def _call(self, method: str, path: str,
               body: Optional[dict] = None) -> dict:
         trace_id = resolve_trace_id("http") if self.trace else None
         encoded = (None if body is None
                    else json.dumps(body).encode("utf-8"))
+        memo_key = self._memo_key(method, path, body)
+        memoized = (self._etags.get(memo_key)
+                    if memo_key is not None else None)
         start = time.perf_counter()
-        status, headers, payload = self._roundtrip(
-            method, path, encoded, trace_id
+        status, headers, raw = self._roundtrip(
+            method, path, encoded, trace_id,
+            etag=memoized[0] if memoized is not None else None,
         )
+        lowered = {key.lower(): value for key, value in headers.items()}
+        if status == 304 and memoized is not None:
+            # The gateway validated our copy: replay it locally, the
+            # reply body never crossed the wire.
+            self.metrics.counter("http.not_modified").inc()
+            payload = json.loads(memoized[1].decode("utf-8"))
+        else:
+            payload = _decode_body(status, raw)
         if self.trace:
             self._record_trace(payload, time.perf_counter() - start)
         if status >= 400:
-            raise _status_error(
-                status, payload,
-                {k.lower(): v for k, v in headers.items()}
-                .get("retry-after"),
-            )
+            raise _status_error(status, payload,
+                                lowered.get("retry-after"))
         if not payload.get("ok"):
             raise reply_error(payload)
+        if memo_key is not None and status == 200 \
+                and lowered.get("etag"):
+            self._etags.put(memo_key, (lowered["etag"], raw))
         return payload
 
     def _record_trace(self, payload: dict, round_trip: float) -> None:
@@ -320,6 +356,13 @@ class HttpBackend(BaseBackend):
             payload["server"] = self._call("GET", "/v1/stats")["stats"]
         except (BackendError, KeyError):
             payload["server"] = None
+        # Surface the front door's own accounting (admission shed
+        # counts, cache hit rates) at the top level: operators reading
+        # client-side stats should not have to know the envelope nests
+        # it under server.gateway.
+        server = payload["server"]
+        payload["gateway"] = (server.get("gateway")
+                              if isinstance(server, dict) else None)
         return payload
 
     def close(self) -> None:

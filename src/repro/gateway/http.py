@@ -52,6 +52,7 @@ _SUPPORTED_VERSIONS = ("HTTP/1.1", "HTTP/1.0")
 
 STATUS_PHRASES = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     401: "Unauthorized",
     403: "Forbidden",
@@ -111,14 +112,22 @@ class HttpRequest:
 
 @dataclass
 class HttpResponse:
-    """A buffered JSON response (``payload`` is JSON-encoded when set)."""
+    """A buffered JSON response.
+
+    ``payload`` is JSON-encoded when set; ``body`` carries pre-encoded
+    JSON bytes instead (the response cache serves the exact bytes it
+    validated with an ``ETag``, skipping re-serialization on every hit).
+    Setting both is a programming error; ``body`` wins.
+    """
 
     status: int = 200
     payload: Optional[object] = None
     headers: tuple = ()
+    body: Optional[bytes] = None
 
     def encode(self, keep_alive: bool) -> bytes:
-        body = (b"" if self.payload is None
+        body = (self.body if self.body is not None
+                else b"" if self.payload is None
                 else json.dumps(self.payload).encode("utf-8"))
         head = [_status_line(self.status),
                 "Content-Type: application/json",

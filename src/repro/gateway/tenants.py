@@ -66,6 +66,9 @@ class TenantSpec:
 
     ``rate`` is sustained requests/second (``0``: unlimited); ``burst``
     is the bucket depth — how far a tenant may run ahead of its rate.
+    ``cache_quota`` bounds this tenant's entries in the gateway's
+    response cache (``None``: only the global capacity bounds it;
+    ``0``: this tenant's replies are never cached).
     """
 
     name: str
@@ -73,6 +76,7 @@ class TenantSpec:
     rate: float = 0.0
     burst: int = 8
     enabled: bool = True
+    cache_quota: Optional[int] = None
 
 
 class TokenBucket:
@@ -156,7 +160,8 @@ def _parse_tenant(index: int, entry: object) -> TenantSpec:
             f"tenants[{index}] must be an object, got "
             f"{type(entry).__name__}"
         )
-    unknown = set(entry) - {"name", "key", "rate", "burst", "enabled"}
+    unknown = set(entry) - {"name", "key", "rate", "burst", "enabled",
+                            "cache_quota"}
     if unknown:
         raise TenantConfigError(
             f"tenants[{index}] has unknown field(s) "
@@ -190,8 +195,17 @@ def _parse_tenant(index: int, entry: object) -> TenantSpec:
         raise TenantConfigError(
             f"tenant {name!r}: enabled must be a boolean, got {enabled!r}"
         )
+    cache_quota = entry.get("cache_quota")
+    if cache_quota is not None and (
+            not isinstance(cache_quota, int) or isinstance(cache_quota, bool)
+            or cache_quota < 0):
+        raise TenantConfigError(
+            f"tenant {name!r}: cache_quota must be an integer >= 0 "
+            f"(or omitted), got {cache_quota!r}"
+        )
     return TenantSpec(name=name, key=key, rate=float(rate),
-                      burst=int(burst), enabled=enabled)
+                      burst=int(burst), enabled=enabled,
+                      cache_quota=cache_quota)
 
 
 class TenantRegistry:

@@ -36,8 +36,10 @@ import time
 from pathlib import Path
 from typing import Optional, Protocol, Sequence, runtime_checkable
 
+from repro.api.artifacts import _codes_fingerprint
 from repro.api.engine import Engine
 from repro.api.request import SelectionRequest, SelectionResponse
+from repro.api.store import StoreError
 from repro.api.workspace import Workspace
 from repro.obs import MetricsRegistry
 from repro.serve.errors import BackendError
@@ -168,6 +170,11 @@ class InProcessBackend(BaseBackend):
                 f"{type(host).__name__}"
             )
         self.host = host
+        # An Engine is immutable once fitted, so its fingerprint is
+        # computed once and memoized; a Workspace re-reads the store
+        # catalog on every stats() call — that is how version bumps
+        # propagate to generation-based caches.
+        self._engine_fingerprint: Optional[dict] = None
 
     @classmethod
     def from_artifact(
@@ -224,7 +231,39 @@ class InProcessBackend(BaseBackend):
         else:
             cache = self.host.cache_stats
             payload["cache"] = {"hits": cache.hits, "misses": cache.misses}
+        fingerprints = self._fingerprints()
+        if fingerprints:
+            payload["fingerprints"] = fingerprints
         return payload
+
+    def _fingerprints(self) -> dict:
+        """``{dataset: "data:vocab"}`` generation tags of what this
+        backend serves — the invalidation signal for response caches
+        (see :mod:`repro.gateway.cache`).  Workspace hosts report the
+        store catalog's *latest* versions: after a version bump, pair
+        the bump with :meth:`Workspace.evict` so the resident engines
+        reload the generation the fingerprints advertise."""
+        if isinstance(self.host, Workspace):
+            try:
+                records = self.host.store.records()
+            except StoreError:
+                return {}
+            return {
+                record.name:
+                    f"{record.data_fingerprint}:{record.vocab_fingerprint}"
+                for record in records
+            }
+        if self._engine_fingerprint is None:
+            try:
+                binned = self.host.binned
+            except RuntimeError:
+                return {}  # not fitted yet: nothing served, nothing tagged
+            self._engine_fingerprint = {
+                self.host.dataset or "":
+                    f"{_codes_fingerprint(binned.codes)}:"
+                    f"{binned.vocab_fingerprint}"
+            }
+        return self._engine_fingerprint
 
     def close(self) -> None:
         if isinstance(self.host, Workspace):

@@ -621,12 +621,14 @@ class RemoteBackend(BaseBackend):
 # Subprocess servers (benchmarks, tests, CLI-free embedding)
 # ---------------------------------------------------------------------------
 
-def _build_server(backend, host, port, transport, tenants=None):
+def _build_server(backend, host, port, transport, tenants=None,
+                  http_cache_size=0):
     """The bound server of one child process (shared by both mains).
 
     ``"socket"``/``"asyncio"`` speak the length-prefixed framing;
     ``"http"`` stands the JSON gateway up over the same backend
-    (``tenants``: optional path of a tenants config file).
+    (``tenants``: optional path of a tenants config file;
+    ``http_cache_size``: response-cache entries, 0 = off).
     """
     if transport == "asyncio":
         from repro.serve.aio import AsyncSocketServer
@@ -640,13 +642,14 @@ def _build_server(backend, host, port, transport, tenants=None):
         registry = (TenantRegistry.from_file(tenants)
                     if tenants is not None else None)
         return HttpGateway(backend, host=host, port=port,
-                           tenants=registry, own_backend=True).start()
+                           tenants=registry, own_backend=True,
+                           cache_size=http_cache_size).start()
     return SocketServer(backend, host=host, port=port, own_backend=True)
 
 
 def _server_process_main(
     conn, artifact, workers, cache_size, routing, algorithm, host, port,
-    transport, tenants=None,
+    transport, tenants=None, http_cache_size=0,
 ) -> None:
     from repro.serve.backend import artifact_backend
 
@@ -660,7 +663,8 @@ def _server_process_main(
             algorithm=algorithm,
         )
         server = _build_server(backend, host, port, transport,
-                               tenants=tenants)
+                               tenants=tenants,
+                               http_cache_size=http_cache_size)
     # Crossing a process boundary: the failure text travels back over the
     # pipe and spawn_artifact_server re-wraps it as a typed TransportError.
     except Exception as error:  # reprolint: ignore[error-taxonomy]
@@ -739,6 +743,7 @@ def spawn_artifact_server(
     startup_timeout: float = 120.0,
     transport: str = "socket",
     tenants: "Optional[str | Path]" = None,
+    http_cache_size: int = 0,
 ) -> SpawnedServer:
     """Start a socket server over ``artifact`` in a child process.
 
@@ -765,7 +770,8 @@ def spawn_artifact_server(
         target=_server_process_main,
         args=(child_conn, str(artifact), workers, cache_size, routing,
               algorithm, host, port, transport,
-              None if tenants is None else str(tenants)),
+              None if tenants is None else str(tenants),
+              http_cache_size),
         # A pooled member must be able to fork its own workers, which
         # daemonic processes may not.
         daemon=(workers == 1),
@@ -790,7 +796,7 @@ def spawn_artifact_server(
 
 def _store_server_process_main(
     conn, store_path, capacity, cache_size, host, port, transport,
-    tenants=None,
+    tenants=None, http_cache_size=0,
 ) -> None:
     from repro.api.store import ArtifactStore
     from repro.serve.backend import InProcessBackend
@@ -803,7 +809,8 @@ def _store_server_process_main(
             cache_size=cache_size,
         )
         server = _build_server(backend, host, port, transport,
-                               tenants=tenants)
+                               tenants=tenants,
+                               http_cache_size=http_cache_size)
     # Crossing a process boundary: the failure text travels back over the
     # pipe and spawn_store_server re-wraps it as a typed TransportError.
     except Exception as error:  # reprolint: ignore[error-taxonomy]
@@ -829,6 +836,7 @@ def spawn_store_server(
     startup_timeout: float = 120.0,
     transport: str = "asyncio",
     tenants: "Optional[str | Path]" = None,
+    http_cache_size: int = 0,
 ) -> SpawnedServer:
     """Start a *multi-dataset* server over an :class:`ArtifactStore` path.
 
@@ -849,7 +857,8 @@ def spawn_store_server(
     process = context.Process(
         target=_store_server_process_main,
         args=(child_conn, str(store), capacity, cache_size, host, port,
-              transport, None if tenants is None else str(tenants)),
+              transport, None if tenants is None else str(tenants),
+              http_cache_size),
         daemon=True,
     )
     process.start()

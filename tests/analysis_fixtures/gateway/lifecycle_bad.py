@@ -16,3 +16,10 @@ def serve_and_forget(backend, port):
 def leak_client(address, request):
     client = HttpBackend(address)  # BAD: bound but never released
     return request.to_wire()
+
+
+def warm_cache(entries):
+    cache = ResponseCache(capacity=64)  # BAD: never closed
+    for tenant, key, body in entries:
+        cache.store(tenant, key, (), body)
+    return len(entries)

@@ -22,3 +22,23 @@ def build_client(address):
 
 def register(address, pool):
     pool.adopt(HttpBackend(address))  # handed off: the pool owns it
+
+
+def count_stores(entries):
+    cache = ResponseCache(capacity=64)
+    try:
+        for tenant, key, body in entries:
+            cache.store(tenant, key, (), body)
+        return len(cache)
+    finally:
+        cache.close()  # try-finally release: fine
+
+
+class CacheOwner:
+    """Construction bound to ``self``: released by this class's close."""
+
+    def __init__(self, capacity):
+        self.cache = ResponseCache(capacity=capacity)
+
+    def close(self):
+        self.cache.close()

@@ -1,0 +1,36 @@
+"""lock-discipline fixtures: the response-cache shape, raced
+(deliberate violations).
+
+Models ``gateway/cache.py``: a lock guarding an entry map plus a
+per-tenant index.  A helper that mutates both "because every caller
+holds the lock" is exactly what the intraprocedural model must flag —
+the next caller added under deadline pressure won't hold it.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class RacyResponseCache:
+    """Guarded in lookup/store, raced in the eviction helper."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self._tenant_keys = {}
+
+    def store(self, tenant, key, entry):
+        with self._lock:
+            self._entries[key] = entry
+            self._tenant_keys.setdefault(tenant, OrderedDict())[key] = None
+
+    def lookup(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def evict(self, tenant, key):
+        self._entries.pop(key, None)  # BAD: guarded map, no lock
+        self._tenant_keys.pop(tenant, None)  # BAD: guarded index, no lock

@@ -1,0 +1,48 @@
+"""lock-discipline fixtures: the response-cache shape, disciplined.
+
+The sanctioned resolutions for a caller-holds-the-lock helper: hold the
+lock at the mutation site, or suppress at the mutation with a pragma and
+a reason (``gateway/cache.py`` uses the pragma — re-acquiring would need
+an RLock on the hot path).
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class DisciplinedResponseCache:
+    """Every mutation of guarded state holds the lock where it happens."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self._tenant_keys = {}
+
+    def store(self, tenant, key, entry):
+        with self._lock:
+            self._entries[key] = entry
+            self._tenant_keys.setdefault(tenant, OrderedDict())[key] = None
+
+    def evict(self, tenant, key):
+        with self._lock:
+            self._entries.pop(key, None)
+            self._tenant_keys.pop(tenant, None)
+
+
+class PragmaResponseCache:
+    """The cache.py idiom: a lock-free helper, suppressed in place."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+
+    def lookup(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.stale:
+                self._remove(key)
+            return entry
+
+    def _remove(self, key):
+        # Every call site holds self._lock.
+        self._entries.pop(key, None)  # reprolint: ignore[lock-discipline] -- caller holds self._lock

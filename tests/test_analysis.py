@@ -176,13 +176,26 @@ def test_resource_lifecycle_watches_gateway_constructors():
     findings = analyse(FIXTURES / "gateway" / "lifecycle_bad.py",
                        "resource-lifecycle")
     assert sorted(f.symbol for f in findings) == [
-        "leak_client", "probe", "serve_and_forget",
+        "leak_client", "probe", "serve_and_forget", "warm_cache",
     ]
 
 
 def test_resource_lifecycle_accepts_gateway_ownership_shapes():
     assert analyse(FIXTURES / "gateway" / "lifecycle_good.py",
                    "resource-lifecycle") == []
+
+
+def test_lock_discipline_flags_cache_helper_races():
+    findings = analyse(FIXTURES / "gateway" / "locks_bad.py",
+                       "lock-discipline")
+    assert sorted(f.symbol for f in findings) == [
+        "RacyResponseCache.evict", "RacyResponseCache.evict",
+    ]
+
+
+def test_lock_discipline_accepts_cache_discipline_and_pragma():
+    assert analyse(FIXTURES / "gateway" / "locks_good.py",
+                   "lock-discipline") == []
 
 
 def test_wire_completeness_flags_codec_drift():
